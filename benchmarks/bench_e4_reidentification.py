@@ -1,0 +1,41 @@
+"""E4 — re-identification rate with and without trajectory swapping.
+
+Regenerates the re-identification table of EXPERIMENTS.md: an attacker trained
+on the first half of each user's history tries to link the published
+pseudonyms of the second half back to the users, through the POI-matching
+attack and the spatial-footprint attack.  Expected shape: plain
+pseudonymisation is fully re-identifiable; hiding POIs kills the POI-matching
+attacker; only the trajectory swapping step reduces the footprint attacker.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.formatting import format_table
+from repro.experiments.runner import run_reidentification
+
+HEADERS = ["variant", "poi_attack_rate", "footprint_attack_rate", "published_users", "n_zones", "n_swaps"]
+
+
+def test_e4_reidentification(benchmark, crossing_eval_world):
+    rows = benchmark.pedantic(
+        lambda: run_reidentification(crossing_eval_world), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(HEADERS, [[r[h] for h in HEADERS] for r in rows],
+                       title="E4 - re-identification rate per publication variant"))
+
+    by_variant = {r["variant"]: r for r in rows}
+    baseline = by_variant["pseudonyms-only"]
+    assert baseline["poi_attack_rate"] > 0.8, "pseudonyms alone must not resist the POI attack"
+    assert baseline["footprint_attack_rate"] > 0.8
+
+    smoothing = by_variant["smoothing+pseudonyms"]
+    assert smoothing["poi_attack_rate"] < 0.2, "hiding POIs defeats the POI-matching attacker"
+
+    never = by_variant["paper-full(swap=never)"]
+    always = by_variant["paper-full(swap=always)"]
+    assert always["n_swaps"] > 0
+    assert always["footprint_attack_rate"] <= never["footprint_attack_rate"], (
+        "swapping must not make the footprint attacker stronger"
+    )
+    assert always["footprint_attack_rate"] < baseline["footprint_attack_rate"]

@@ -1,0 +1,51 @@
+"""E7 — anonymization throughput versus dataset size.
+
+Regenerates the scalability figure of EXPERIMENTS.md: the full pipeline (and
+the smoothing step alone) is timed on growing user populations and reported as
+points processed per second.  This is the benchmark where pytest-benchmark's
+timing statistics are the result itself; the assertions only check that
+throughput does not collapse with size (the pipeline is near-linear).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Anonymizer
+from repro.core.speed_smoothing import SpeedSmoother
+from repro.datagen.mobility import generate_world
+from repro.experiments.formatting import format_table
+
+
+@pytest.fixture(scope="module")
+def sized_worlds():
+    return {
+        n_users: generate_world(n_users=n_users, n_days=3, seed=42)
+        for n_users in (10, 25, 50)
+    }
+
+
+@pytest.mark.parametrize("n_users", [10, 25, 50])
+def test_e7_full_pipeline_throughput(benchmark, sized_worlds, n_users):
+    world = sized_worlds[n_users]
+    anonymizer = Anonymizer()
+    result = benchmark.pedantic(lambda: anonymizer.publish(world.dataset), rounds=3, iterations=1)
+    published, report = result
+    throughput = world.dataset.n_points / max(benchmark.stats.stats.mean, 1e-9)
+    print()
+    print(
+        format_table(
+            ["users", "input_points", "published_points", "points_per_second"],
+            [[n_users, world.dataset.n_points, published.n_points, int(throughput)]],
+            title="E7 - full pipeline throughput",
+        )
+    )
+    assert published.n_points > 0
+    assert throughput > 1_000, "the pipeline must process at least a thousand points per second"
+
+
+def test_e7_smoothing_only_throughput(benchmark, sized_worlds):
+    world = sized_worlds[50]
+    smoother = SpeedSmoother()
+    published = benchmark.pedantic(lambda: smoother.smooth_dataset(world.dataset), rounds=3, iterations=1)
+    assert published.n_points > 0

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of EXPERIMENTS.md.  Workloads
+are generated once per session; every bench prints the rows it measured so the
+pytest output doubles as the reproduced evaluation tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import crossing_rich_world, standard_world
+
+#: Scale used by the evaluation benches.  "medium" (40 users x 7 days) matches
+#: the scale documented in EXPERIMENTS.md; set to "small" for a quicker pass.
+EVALUATION_SCALE = "medium"
+
+
+@pytest.fixture(scope="session")
+def eval_world():
+    """The standard evaluation workload (DESIGN.md experiments E1-E3, E6)."""
+    return standard_world(EVALUATION_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def crossing_eval_world():
+    """The crossing-rich workload (experiments E4, E5, E8)."""
+    return crossing_rich_world(EVALUATION_SCALE, seed=42)

@@ -1,0 +1,59 @@
+"""Privacy-versus-utility study: compare every mechanism on one workload.
+
+This is the "analyst's view" of the reproduction: it runs the comparison suite
+(the paper's pipeline, Geo-Indistinguishability, Wait-For-Me, naive baselines)
+on a single workload and prints the three headline tables of the evaluation —
+POI retrieval (privacy), spatial distortion (utility) and area coverage
+(utility) — so the trade-off each mechanism makes is visible side by side.
+
+Run with::
+
+    python examples/privacy_vs_utility_study.py [--scale small|medium] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.formatting import format_table
+from repro.experiments.runner import (
+    run_area_coverage,
+    run_poi_retrieval,
+    run_spatial_distortion,
+)
+from repro.experiments.workloads import standard_world
+
+
+def print_rows(title: str, rows) -> None:
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows], title=title))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium", "large"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    world = standard_world(args.scale, seed=args.seed)
+    print(
+        f"workload: {len(world.dataset)} users, {world.dataset.n_points} points "
+        f"({args.scale}, seed {args.seed})\n"
+    )
+
+    print_rows("Privacy - POI retrieval under the stay-point attack", run_poi_retrieval(world))
+    print_rows("Utility - spatial distortion (meters)", run_spatial_distortion(world))
+    print_rows(
+        "Utility - area coverage (cell F-score)",
+        run_area_coverage(world, cell_sizes_m=(200.0, 400.0)),
+    )
+
+    print(
+        "Reading the tables: the paper's mechanisms (smoothing-*, paper-full) sit in the\n"
+        "low-recall rows of the first table while staying near the top of both utility\n"
+        "tables; Geo-Indistinguishability and Wait-For-Me give up one side or the other."
+    )
+
+
+if __name__ == "__main__":
+    main()

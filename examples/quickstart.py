@@ -1,0 +1,46 @@
+"""Quickstart: anonymize a mobility dataset in a dozen lines.
+
+Generates a small synthetic GeoLife-like dataset, runs the paper's full
+pipeline (speed smoothing + mix-zone swapping), then shows what the standard
+POI-extraction attack can recover before and after protection.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Anonymizer, generate_world
+from repro.attacks import PoiExtractor
+from repro.metrics import dataset_spatial_distortion, poi_retrieval_pooled
+from repro.experiments.runner import ground_truth_pois
+
+
+def main() -> None:
+    # 1. A synthetic world: 15 users over 3 days, with known ground truth.
+    world = generate_world(n_users=15, n_days=3, seed=7)
+    print(f"generated {len(world.dataset)} users / {world.dataset.n_points} GPS points")
+
+    # 2. Publish the dataset through the paper's pipeline.
+    published, report = Anonymizer().publish(world.dataset)
+    print(report.summary())
+
+    # 3. Attack both versions with stay-point clustering.
+    attack = PoiExtractor()
+    truth = ground_truth_pois(world)
+    raw_pois = [p for pois in attack.extract_dataset(world.dataset).values() for p in pois]
+    protected_pois = [p for pois in attack.extract_dataset(published).values() for p in pois]
+
+    raw_score = poi_retrieval_pooled(truth, raw_pois)
+    protected_score = poi_retrieval_pooled(truth, protected_pois)
+    print(f"POI attack on raw data      : recall={raw_score.recall:.0%}  f-score={raw_score.f_score:.2f}")
+    print(f"POI attack on published data: recall={protected_score.recall:.0%}  f-score={protected_score.f_score:.2f}")
+
+    # 4. And the price paid in spatial utility.
+    distortion = dataset_spatial_distortion(world.dataset, published)
+    print(f"median spatial distortion   : {distortion.median:.0f} m (p95 {distortion.p95:.0f} m)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Privacy attacks used to evaluate the protection mechanisms."""
+
+from .djcluster import DjCluster, DjClusterConfig, dj_cluster
+from .gap_inference import GapInferenceAttack, GapInferenceConfig, infer_pois_from_gaps
+from .poi_extraction import ExtractedPoi, PoiExtractionConfig, PoiExtractor, extract_pois
+from .reident import (
+    FootprintReidentifier,
+    KnownPoi,
+    ReidentificationConfig,
+    ReidentificationResult,
+    Reidentifier,
+)
+from .tracking import MultiTargetTracker, TrackingConfig, ZoneLinkage
+
+__all__ = [
+    "ExtractedPoi",
+    "PoiExtractionConfig",
+    "PoiExtractor",
+    "extract_pois",
+    "DjCluster",
+    "DjClusterConfig",
+    "dj_cluster",
+    "GapInferenceAttack",
+    "GapInferenceConfig",
+    "infer_pois_from_gaps",
+    "FootprintReidentifier",
+    "KnownPoi",
+    "ReidentificationConfig",
+    "ReidentificationResult",
+    "Reidentifier",
+    "MultiTargetTracker",
+    "TrackingConfig",
+    "ZoneLinkage",
+]

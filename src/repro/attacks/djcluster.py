@@ -1,0 +1,161 @@
+"""DJ-Cluster: density-joinable clustering of POIs.
+
+DJ-Cluster (Zhou et al., used by Gambs et al. in their POI-inference pipeline)
+is an alternative to the stay-point scan of
+:mod:`repro.attacks.poi_extraction`: instead of looking for temporally
+contiguous stops, it clusters *all* the fixes of a user by spatial density
+(DBSCAN-style), assuming that places where many fixes accumulate are places
+the user frequents.
+
+It is included because the two attacks fail differently on protected data:
+the stay-point scan needs temporal contiguity (defeated by constant speed),
+while DJ-Cluster only needs spatial density (defeated by constant *spacing*).
+Experiment E1 reports both.
+
+The implementation first removes "moving" fixes (speed above
+``max_stationary_speed_mps``), then runs a density-based clustering with
+radius ``eps_m`` and minimum neighbourhood size ``min_points``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.trajectory import MobilityDataset, Trajectory
+from ..geo.distance import meters_per_degree
+from .poi_extraction import ExtractedPoi
+
+__all__ = ["DjClusterConfig", "DjCluster", "dj_cluster"]
+
+
+@dataclass(frozen=True)
+class DjClusterConfig:
+    """Parameters of the DJ-Cluster attack.
+
+    ``eps_m`` is the neighbourhood radius, ``min_points`` the minimum number of
+    fixes for a dense neighbourhood, and ``max_stationary_speed_mps`` the speed
+    below which a fix is considered stationary (the pre-filtering step of the
+    original algorithm).
+    """
+
+    eps_m: float = 100.0
+    min_points: int = 10
+    max_stationary_speed_mps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.eps_m <= 0.0:
+            raise ValueError("eps_m must be positive")
+        if self.min_points < 2:
+            raise ValueError("min_points must be at least 2")
+        if self.max_stationary_speed_mps <= 0.0:
+            raise ValueError("max_stationary_speed_mps must be positive")
+
+
+class DjCluster:
+    """Density-joinable clustering of the stationary fixes of a trajectory."""
+
+    def __init__(self, config: Optional[DjClusterConfig] = None) -> None:
+        self.config = config or DjClusterConfig()
+
+    def extract(self, trajectory: Trajectory) -> List[ExtractedPoi]:
+        """Clusters of stationary fixes, reported as :class:`ExtractedPoi`."""
+        cfg = self.config
+        n = len(trajectory)
+        if n < cfg.min_points:
+            return []
+
+        ts = np.asarray(trajectory.timestamps)
+        lats = np.asarray(trajectory.lats)
+        lons = np.asarray(trajectory.lons)
+
+        stationary = self._stationary_mask(trajectory)
+        idx = np.nonzero(stationary)[0]
+        if idx.size < cfg.min_points:
+            return []
+
+        # Project to meters for Euclidean neighbourhood queries.
+        lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
+        xs = (lons[idx] - float(np.mean(lons))) * lon_m
+        ys = (lats[idx] - float(np.mean(lats))) * lat_m
+
+        labels = self._dbscan(xs, ys, cfg.eps_m, cfg.min_points)
+        pois: List[ExtractedPoi] = []
+        for label in sorted(set(labels)):
+            if label < 0:
+                continue
+            members = idx[labels == label]
+            pois.append(
+                ExtractedPoi(
+                    user_id=trajectory.user_id,
+                    lat=float(np.mean(lats[members])),
+                    lon=float(np.mean(lons[members])),
+                    t_start=float(ts[members].min()),
+                    t_end=float(ts[members].max()),
+                    n_points=int(members.size),
+                )
+            )
+        return pois
+
+    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
+        """Run the attack on every user of a dataset."""
+        return {traj.user_id: self.extract(traj) for traj in dataset}
+
+    # -- internals -------------------------------------------------------------------
+
+    def _stationary_mask(self, trajectory: Trajectory) -> np.ndarray:
+        """Fixes whose adjacent-segment speed is below the stationary threshold."""
+        n = len(trajectory)
+        speeds = trajectory.speeds()
+        mask = np.zeros(n, dtype=bool)
+        if speeds.size == 0:
+            return mask
+        below = speeds <= self.config.max_stationary_speed_mps
+        # A fix is stationary when either adjacent segment is slow.
+        mask[:-1] |= below
+        mask[1:] |= below
+        return mask
+
+    @staticmethod
+    def _dbscan(xs: np.ndarray, ys: np.ndarray, eps: float, min_points: int) -> np.ndarray:
+        """A compact DBSCAN over planar points; returns labels (-1 = noise).
+
+        Complexity is O(n^2) in the number of stationary fixes of one user,
+        which stays small (thousands) for the workloads of this reproduction.
+        """
+        n = xs.size
+        labels = np.full(n, -1, dtype=int)
+        visited = np.zeros(n, dtype=bool)
+        # Pairwise squared distances, computed once.
+        d2 = (xs[:, None] - xs[None, :]) ** 2 + (ys[:, None] - ys[None, :]) ** 2
+        eps2 = eps * eps
+        neighbours = [np.nonzero(d2[i] <= eps2)[0] for i in range(n)]
+
+        cluster = 0
+        for i in range(n):
+            if visited[i]:
+                continue
+            visited[i] = True
+            if neighbours[i].size < min_points:
+                continue
+            # Start a new cluster and expand it breadth-first.
+            labels[i] = cluster
+            frontier = list(neighbours[i])
+            while frontier:
+                j = frontier.pop()
+                if labels[j] == -1:
+                    labels[j] = cluster
+                if visited[j]:
+                    continue
+                visited[j] = True
+                if neighbours[j].size >= min_points:
+                    frontier.extend(neighbours[j])
+            cluster += 1
+        return labels
+
+
+def dj_cluster(trajectory: Trajectory, **kwargs) -> List[ExtractedPoi]:
+    """Convenience wrapper: run DJ-Cluster on one trajectory."""
+    return DjCluster(DjClusterConfig(**kwargs)).extract(trajectory)

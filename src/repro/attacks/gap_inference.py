@@ -1,0 +1,128 @@
+"""Recording-gap inference: POIs from where a trace vanishes and reappears.
+
+The speed-smoothing mechanism hides stops *within* a recording session, but a
+published trace still shows where each session ends and where the next one
+begins.  When a user's device goes silent near a place and comes back hours
+later near the same place, an attacker can reasonably infer a stay there even
+though no published fix is ever stationary.  This adversary exploits exactly
+that: it is the strongest known attack against the time-distortion approach
+and quantifies the residual leak that DESIGN.md and EXPERIMENTS.md document as
+a limitation of the original mechanism.
+
+The attack scans consecutive published fixes of one trace and reports a POI
+whenever
+
+* the time gap between them exceeds ``min_gap_s`` (long enough for a
+  meaningful stay), and
+* the two fixes are within ``max_reappear_distance_m`` of each other (the
+  user reappears where she vanished).
+
+Mitigations available in the library: trimming session extremities
+(``trim_start_m`` / ``trim_end_m`` in the smoothing configuration) moves the
+published endpoints away from the true POI, and mix-zone swapping detaches the
+segment before the gap from the segment after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.trajectory import MobilityDataset, Trajectory
+from ..geo.distance import haversine
+from .poi_extraction import ExtractedPoi
+
+__all__ = ["GapInferenceConfig", "GapInferenceAttack", "infer_pois_from_gaps"]
+
+
+@dataclass(frozen=True)
+class GapInferenceConfig:
+    """Parameters of the recording-gap attack.
+
+    ``min_gap_s`` is the minimum silence treated as a potential stay;
+    ``max_reappear_distance_m`` is how close the reappearance must be to the
+    disappearance for the stay location to be considered known;
+    ``merge_distance_m`` merges repeated inferred stays at the same place.
+    """
+
+    min_gap_s: float = 3600.0
+    max_reappear_distance_m: float = 300.0
+    merge_distance_m: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.min_gap_s <= 0.0:
+            raise ValueError("min_gap_s must be positive")
+        if self.max_reappear_distance_m <= 0.0:
+            raise ValueError("max_reappear_distance_m must be positive")
+        if self.merge_distance_m < 0.0:
+            raise ValueError("merge_distance_m must be non-negative")
+
+
+class GapInferenceAttack:
+    """Infers POIs from recording gaps in published traces."""
+
+    def __init__(self, config: Optional[GapInferenceConfig] = None) -> None:
+        self.config = config or GapInferenceConfig()
+
+    def extract(self, trajectory: Trajectory) -> List[ExtractedPoi]:
+        """Inferred POIs of one published trace."""
+        cfg = self.config
+        n = len(trajectory)
+        if n < 2:
+            return []
+        ts = np.asarray(trajectory.timestamps)
+        lats = np.asarray(trajectory.lats)
+        lons = np.asarray(trajectory.lons)
+
+        inferred: List[ExtractedPoi] = []
+        gaps = np.diff(ts)
+        for i in np.nonzero(gaps >= cfg.min_gap_s)[0]:
+            distance = haversine(float(lats[i]), float(lons[i]), float(lats[i + 1]), float(lons[i + 1]))
+            if distance > cfg.max_reappear_distance_m:
+                continue
+            inferred.append(
+                ExtractedPoi(
+                    user_id=trajectory.user_id,
+                    lat=float((lats[i] + lats[i + 1]) / 2.0),
+                    lon=float((lons[i] + lons[i + 1]) / 2.0),
+                    t_start=float(ts[i]),
+                    t_end=float(ts[i + 1]),
+                    n_points=2,
+                )
+            )
+        return self._merge(inferred)
+
+    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
+        """Run the attack on every published trace of the dataset."""
+        return {traj.user_id: self.extract(traj) for traj in dataset}
+
+    def _merge(self, pois: List[ExtractedPoi]) -> List[ExtractedPoi]:
+        """Merge inferred stays of the same trace closer than ``merge_distance_m``."""
+        if self.config.merge_distance_m <= 0.0 or len(pois) <= 1:
+            return pois
+        groups: List[List[ExtractedPoi]] = []
+        for poi in pois:
+            for group in groups:
+                if haversine(poi.lat, poi.lon, group[0].lat, group[0].lon) <= self.config.merge_distance_m:
+                    group.append(poi)
+                    break
+            else:
+                groups.append([poi])
+        return [
+            ExtractedPoi(
+                user_id=group[0].user_id,
+                lat=float(np.mean([p.lat for p in group])),
+                lon=float(np.mean([p.lon for p in group])),
+                t_start=min(p.t_start for p in group),
+                t_end=max(p.t_end for p in group),
+                n_points=sum(p.n_points for p in group),
+            )
+            for group in groups
+        ]
+
+
+def infer_pois_from_gaps(trajectory: Trajectory, **kwargs) -> List[ExtractedPoi]:
+    """Convenience wrapper: run the gap-inference attack on one trace."""
+    return GapInferenceAttack(GapInferenceConfig(**kwargs)).extract(trajectory)

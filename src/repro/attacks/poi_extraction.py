@@ -1,0 +1,194 @@
+"""POI extraction attack: stay-point clustering.
+
+This is the primary adversary considered by the paper: given a published
+trajectory, find the *points of interest* — places where the user stopped for
+a while.  The classic technique (Li et al.; Gambs et al., "Show Me How You
+Move and I Will Tell You Who You Are") slides over the trace and reports a
+*stay point* whenever the user remained within ``max_diameter_m`` meters for
+at least ``min_duration_s`` seconds.
+
+On raw data this attack recovers essentially every significant stop.  On data
+protected by the paper's speed-smoothing mechanism the user never appears
+stationary, so the attack should find (almost) nothing — that contrast is
+exactly what experiment E1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.trajectory import MobilityDataset, Trajectory
+from ..geo.distance import haversine, haversine_array
+
+__all__ = ["ExtractedPoi", "PoiExtractionConfig", "PoiExtractor", "extract_pois"]
+
+
+@dataclass(frozen=True)
+class ExtractedPoi:
+    """A stay point found by the attack.
+
+    ``lat``/``lon`` is the centroid of the fixes composing the stay,
+    ``t_start``/``t_end`` its temporal extent and ``n_points`` the number of
+    fixes supporting it.
+    """
+
+    user_id: str
+    lat: float
+    lon: float
+    t_start: float
+    t_end: float
+    n_points: int
+
+    @property
+    def duration(self) -> float:
+        """Length of the stay in seconds."""
+        return self.t_end - self.t_start
+
+    def distance_to(self, lat: float, lon: float) -> float:
+        """Distance in meters from the stay centroid to a reference location."""
+        return haversine(self.lat, self.lon, lat, lon)
+
+
+@dataclass(frozen=True)
+class PoiExtractionConfig:
+    """Parameters of the stay-point attack.
+
+    ``max_diameter_m`` is the maximum spatial extent of a stay and
+    ``min_duration_s`` the minimum time spent inside it; both follow the
+    values commonly used in the literature (200 m, 15 minutes).
+    ``merge_distance_m`` merges stay points of the same user that are closer
+    than this distance into a single POI (repeated visits to the same place).
+    ``max_gap_s`` bounds the sampling gap allowed *inside* a stay: when two
+    consecutive fixes are further apart in time, the candidate stay is cut at
+    the gap.  Without this bound, any recording interruption (device asleep
+    indoors, battery out) would count as an arbitrarily long "stay", turning
+    signal loss into evidence of presence.
+    """
+
+    max_diameter_m: float = 200.0
+    min_duration_s: float = 900.0
+    merge_distance_m: float = 100.0
+    max_gap_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_diameter_m <= 0.0:
+            raise ValueError("max_diameter_m must be positive")
+        if self.min_duration_s <= 0.0:
+            raise ValueError("min_duration_s must be positive")
+        if self.merge_distance_m < 0.0:
+            raise ValueError("merge_distance_m must be non-negative")
+        if self.max_gap_s <= 0.0:
+            raise ValueError("max_gap_s must be positive")
+
+
+class PoiExtractor:
+    """Stay-point clustering attack over trajectories and datasets."""
+
+    def __init__(self, config: Optional[PoiExtractionConfig] = None) -> None:
+        self.config = config or PoiExtractionConfig()
+
+    # -- single trajectory ------------------------------------------------------
+
+    def extract(self, trajectory: Trajectory) -> List[ExtractedPoi]:
+        """Stay points of one trajectory, merged into distinct POIs.
+
+        The scan is the standard two-pointer algorithm: starting from fix
+        ``i``, extend ``j`` while every fix remains within ``max_diameter_m``
+        of fix ``i``; if the spanned duration reaches ``min_duration_s`` a
+        stay point is emitted and the scan restarts after ``j``.
+        """
+        cfg = self.config
+        n = len(trajectory)
+        if n == 0:
+            return []
+        ts = np.asarray(trajectory.timestamps)
+        lats = np.asarray(trajectory.lats)
+        lons = np.asarray(trajectory.lons)
+
+        stays: List[ExtractedPoi] = []
+        i = 0
+        while i < n:
+            j = i + 1
+            while j < n:
+                if float(ts[j] - ts[j - 1]) > cfg.max_gap_s:
+                    break
+                dist = haversine(float(lats[i]), float(lons[i]), float(lats[j]), float(lons[j]))
+                if dist > cfg.max_diameter_m:
+                    break
+                j += 1
+            duration = float(ts[j - 1] - ts[i])
+            if duration >= cfg.min_duration_s and j - i >= 2:
+                stays.append(
+                    ExtractedPoi(
+                        user_id=trajectory.user_id,
+                        lat=float(np.mean(lats[i:j])),
+                        lon=float(np.mean(lons[i:j])),
+                        t_start=float(ts[i]),
+                        t_end=float(ts[j - 1]),
+                        n_points=int(j - i),
+                    )
+                )
+                i = j
+            else:
+                i += 1
+        return self._merge(stays)
+
+    # -- whole dataset -----------------------------------------------------------
+
+    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
+        """Stay points of every user of the dataset, keyed by user identifier."""
+        return {traj.user_id: self.extract(traj) for traj in dataset}
+
+    # -- internals ----------------------------------------------------------------
+
+    def _merge(self, stays: Sequence[ExtractedPoi]) -> List[ExtractedPoi]:
+        """Merge stays of the same user closer than ``merge_distance_m``.
+
+        Merging uses a simple greedy pass: each stay either joins the first
+        existing group whose centroid is close enough or starts a new group.
+        Group centroids are the point-count weighted mean of their members.
+        """
+        if self.config.merge_distance_m <= 0.0 or len(stays) <= 1:
+            return list(stays)
+        groups: List[List[ExtractedPoi]] = []
+        for stay in stays:
+            placed = False
+            for group in groups:
+                g_lat = float(np.mean([s.lat for s in group]))
+                g_lon = float(np.mean([s.lon for s in group]))
+                if haversine(stay.lat, stay.lon, g_lat, g_lon) <= self.config.merge_distance_m:
+                    group.append(stay)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([stay])
+        merged: List[ExtractedPoi] = []
+        for group in groups:
+            weights = np.array([s.n_points for s in group], dtype=float)
+            merged.append(
+                ExtractedPoi(
+                    user_id=group[0].user_id,
+                    lat=float(np.average([s.lat for s in group], weights=weights)),
+                    lon=float(np.average([s.lon for s in group], weights=weights)),
+                    t_start=min(s.t_start for s in group),
+                    t_end=max(s.t_end for s in group),
+                    n_points=int(sum(s.n_points for s in group)),
+                )
+            )
+        return merged
+
+
+def extract_pois(
+    trajectory: Trajectory,
+    max_diameter_m: float = 200.0,
+    min_duration_s: float = 900.0,
+    **kwargs,
+) -> List[ExtractedPoi]:
+    """Convenience wrapper: extract the stay points of one trajectory."""
+    config = PoiExtractionConfig(
+        max_diameter_m=max_diameter_m, min_duration_s=min_duration_s, **kwargs
+    )
+    return PoiExtractor(config).extract(trajectory)

@@ -1,0 +1,59 @@
+"""Adapters exposing the paper's mechanisms through the common interface.
+
+These wrappers let the experiment harness treat the paper's pipeline exactly
+like any baseline (:class:`~repro.baselines.base.PublicationMechanism`):
+
+* :class:`SpeedSmoothingMechanism` — the first mechanism alone (constant
+  speed, Figure 1b);
+* :class:`FullPipelineMechanism` — smoothing plus mix-zone swapping
+  (Figure 1c), keeping the last :class:`~repro.core.pipeline.AnonymizationReport`
+  available for provenance-based scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.pipeline import AnonymizationReport, Anonymizer, AnonymizerConfig
+from ..core.speed_smoothing import SpeedSmoother, SpeedSmoothingConfig
+from ..core.trajectory import MobilityDataset
+from .base import PublicationMechanism
+
+__all__ = ["SpeedSmoothingMechanism", "FullPipelineMechanism"]
+
+
+class SpeedSmoothingMechanism(PublicationMechanism):
+    """The paper's constant-speed transformation, as a standalone mechanism."""
+
+    name = "speed-smoothing"
+
+    def __init__(self, config: Optional[SpeedSmoothingConfig] = None) -> None:
+        self._smoother = SpeedSmoother(config)
+
+    @property
+    def config(self) -> SpeedSmoothingConfig:
+        """The smoothing configuration in use."""
+        return self._smoother.config
+
+    def publish(self, dataset: MobilityDataset) -> MobilityDataset:
+        return self._smoother.smooth_dataset(dataset)
+
+
+class FullPipelineMechanism(PublicationMechanism):
+    """The paper's full pipeline: smoothing followed by mix-zone swapping."""
+
+    name = "paper-full"
+
+    def __init__(self, config: Optional[AnonymizerConfig] = None) -> None:
+        self._anonymizer = Anonymizer(config)
+        self.last_report: Optional[AnonymizationReport] = None
+
+    @property
+    def config(self) -> AnonymizerConfig:
+        """The pipeline configuration in use."""
+        return self._anonymizer.config
+
+    def publish(self, dataset: MobilityDataset) -> MobilityDataset:
+        published, report = self._anonymizer.publish(dataset)
+        self.last_report = report
+        return published

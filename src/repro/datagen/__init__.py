@@ -1,0 +1,30 @@
+"""Synthetic GeoLife-like mobility workload generator (data substitution substrate)."""
+
+from .city import City, CityConfig, POI, POICategory
+from .mobility import SimulationConfig, SyntheticWorld, TraceSimulator, generate_world
+from .noise import GpsNoiseConfig, GpsNoiseModel
+from .schedule import (
+    DailySchedule,
+    ScheduleConfig,
+    ScheduleGenerator,
+    UserProfile,
+    Visit,
+)
+
+__all__ = [
+    "City",
+    "CityConfig",
+    "POI",
+    "POICategory",
+    "GpsNoiseConfig",
+    "GpsNoiseModel",
+    "DailySchedule",
+    "ScheduleConfig",
+    "ScheduleGenerator",
+    "UserProfile",
+    "Visit",
+    "SimulationConfig",
+    "SyntheticWorld",
+    "TraceSimulator",
+    "generate_world",
+]

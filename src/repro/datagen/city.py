@@ -1,0 +1,212 @@
+"""A synthetic city: street lattice, points of interest and routing.
+
+The paper's evaluation requires realistic mobility traces: users that stop at
+semantically meaningful places (home, work, shops...) and travel between them
+along shared streets, so that points of interest exist to be attacked and
+natural path crossings exist to be exploited as mix-zones.  Real datasets
+(GeoLife, Cabspotting) are not available offline, so this module builds a
+parametric city in which such traces can be simulated with exact ground truth.
+
+The city is a square area centred on a configurable geographic point, overlaid
+with a Manhattan-like street lattice.  Points of interest (:class:`POI`) are
+snapped to lattice intersections and partitioned into categories (home, work,
+leisure, transit).  Routing between two POIs follows lattice streets
+(rectilinear routes, optionally passing through a transit hub), which makes
+different users share road segments — the natural mix-zone material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.distance import haversine, meters_per_degree
+from ..geo.geometry import BoundingBox
+
+__all__ = ["POICategory", "POI", "CityConfig", "City"]
+
+
+class POICategory(str, Enum):
+    """Semantic category of a synthetic point of interest."""
+
+    HOME = "home"
+    WORK = "work"
+    LEISURE = "leisure"
+    TRANSIT = "transit"
+
+
+@dataclass(frozen=True)
+class POI:
+    """A ground-truth point of interest of the synthetic city."""
+
+    poi_id: str
+    category: POICategory
+    lat: float
+    lon: float
+
+    def distance_to(self, other: "POI") -> float:
+        """Great-circle distance in meters to another POI."""
+        return haversine(self.lat, self.lon, other.lat, other.lon)
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of the synthetic city.
+
+    Attributes
+    ----------
+    center_lat, center_lon:
+        Geographic center (defaults to Lyon, the authors' city).
+    size_m:
+        Side length of the square city area in meters.
+    street_spacing_m:
+        Distance between two parallel streets of the lattice.
+    n_homes, n_workplaces, n_leisure, n_transit_hubs:
+        Number of POIs generated in each category.
+    """
+
+    center_lat: float = 45.7640
+    center_lon: float = 4.8357
+    size_m: float = 8000.0
+    street_spacing_m: float = 400.0
+    n_homes: int = 60
+    n_workplaces: int = 15
+    n_leisure: int = 20
+    n_transit_hubs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_m <= 0.0:
+            raise ValueError(f"size_m must be positive, got {self.size_m}")
+        if self.street_spacing_m <= 0.0 or self.street_spacing_m > self.size_m:
+            raise ValueError(
+                f"street_spacing_m must be in (0, size_m], got {self.street_spacing_m}"
+            )
+        for name in ("n_homes", "n_workplaces", "n_leisure", "n_transit_hubs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+
+class City:
+    """A generated synthetic city with its POIs and rectilinear routing."""
+
+    def __init__(self, config: CityConfig, pois: Sequence[POI]) -> None:
+        self.config = config
+        self.pois: List[POI] = list(pois)
+        self._by_category: Dict[POICategory, List[POI]] = {c: [] for c in POICategory}
+        for poi in self.pois:
+            self._by_category[poi.category].append(poi)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def generate(cls, config: Optional[CityConfig] = None, seed: int = 0) -> "City":
+        """Generate a city: lattice intersections become candidate POI sites."""
+        config = config or CityConfig()
+        rng = np.random.default_rng(seed)
+        lat_m, lon_m = meters_per_degree(config.center_lat)
+        half = config.size_m / 2.0
+        n_lines = max(2, int(config.size_m // config.street_spacing_m) + 1)
+        # Lattice intersection offsets in meters relative to the center.
+        offsets = np.linspace(-half, half, n_lines)
+
+        counts = {
+            POICategory.HOME: config.n_homes,
+            POICategory.WORK: config.n_workplaces,
+            POICategory.LEISURE: config.n_leisure,
+            POICategory.TRANSIT: config.n_transit_hubs,
+        }
+        pois: List[POI] = []
+        used: set = set()
+        for category, count in counts.items():
+            for i in range(count):
+                # Draw a lattice intersection not already used, falling back to
+                # reuse if the lattice is smaller than the number of POIs.
+                for _ in range(64):
+                    xi = int(rng.integers(0, n_lines))
+                    yi = int(rng.integers(0, n_lines))
+                    if (xi, yi) not in used:
+                        break
+                used.add((xi, yi))
+                x = float(offsets[xi])
+                y = float(offsets[yi])
+                lat = config.center_lat + y / lat_m
+                lon = config.center_lon + x / lon_m
+                pois.append(POI(f"{category.value}_{i:03d}", category, lat, lon))
+        return cls(config, pois)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def bbox(self) -> BoundingBox:
+        """Bounding box of the city area (POIs plus a small margin)."""
+        lats = [p.lat for p in self.pois]
+        lons = [p.lon for p in self.pois]
+        return BoundingBox.from_points(lats, lons).expanded(self.config.street_spacing_m)
+
+    def pois_of(self, category: POICategory) -> List[POI]:
+        """All POIs of a category."""
+        return list(self._by_category[category])
+
+    def poi_by_id(self, poi_id: str) -> POI:
+        """Look up a POI by identifier; raises ``KeyError`` when absent."""
+        for poi in self.pois:
+            if poi.poi_id == poi_id:
+                return poi
+        raise KeyError(poi_id)
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(
+        self, origin: POI, destination: POI, via_transit: bool = False, rng: Optional[np.random.Generator] = None
+    ) -> List[Tuple[float, float]]:
+        """A rectilinear route along lattice streets between two POIs.
+
+        The route is a list of ``(lat, lon)`` waypoints: origin, one or two
+        corner points where the route turns, optionally a transit hub, and the
+        destination.  Horizontal-first or vertical-first is chosen at random
+        (or deterministically when no ``rng`` is given), which spreads traffic
+        over the lattice while still making users share street segments.
+        """
+        waypoints: List[Tuple[float, float]] = [(origin.lat, origin.lon)]
+        if via_transit and self._by_category[POICategory.TRANSIT]:
+            hubs = self._by_category[POICategory.TRANSIT]
+            hub = min(
+                hubs,
+                key=lambda h: haversine(origin.lat, origin.lon, h.lat, h.lon)
+                + haversine(destination.lat, destination.lon, h.lat, h.lon),
+            )
+            waypoints.extend(self._rectilinear((origin.lat, origin.lon), (hub.lat, hub.lon), rng))
+            waypoints.append((hub.lat, hub.lon))
+            waypoints.extend(self._rectilinear((hub.lat, hub.lon), (destination.lat, destination.lon), rng))
+        else:
+            waypoints.extend(
+                self._rectilinear((origin.lat, origin.lon), (destination.lat, destination.lon), rng)
+            )
+        waypoints.append((destination.lat, destination.lon))
+        return self._dedupe(waypoints)
+
+    def _rectilinear(
+        self,
+        a: Tuple[float, float],
+        b: Tuple[float, float],
+        rng: Optional[np.random.Generator],
+    ) -> List[Tuple[float, float]]:
+        """The intermediate corner of an L-shaped route from ``a`` to ``b``."""
+        horizontal_first = True if rng is None else bool(rng.integers(0, 2))
+        if horizontal_first:
+            return [(a[0], b[1])]
+        return [(b[0], a[1])]
+
+    @staticmethod
+    def _dedupe(waypoints: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+        """Remove consecutive duplicate waypoints (zero-length legs)."""
+        out: List[Tuple[float, float]] = []
+        for wp in waypoints:
+            if not out or haversine(out[-1][0], out[-1][1], wp[0], wp[1]) > 1.0:
+                out.append(wp)
+        if not out:
+            out = [waypoints[0]]
+        return out

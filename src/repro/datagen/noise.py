@@ -1,0 +1,84 @@
+"""GPS measurement noise and sampling imperfections.
+
+Real GPS logs are not the true positions of their carriers: each fix carries a
+few meters of measurement error, and samples are regularly lost (urban
+canyons, tunnels, device sleep).  Both imperfections matter to the paper's
+evaluation: the POI-extraction attack must tolerate jitter, and the
+speed-smoothing algorithm must remain correct on irregularly sampled traces.
+
+:class:`GpsNoiseModel` applies both effects to a clean simulated trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from ..geo.distance import meters_per_degree
+
+__all__ = ["GpsNoiseConfig", "GpsNoiseModel"]
+
+
+@dataclass(frozen=True)
+class GpsNoiseConfig:
+    """Parameters of the GPS imperfection model.
+
+    Attributes
+    ----------
+    horizontal_error_m:
+        Standard deviation of the isotropic Gaussian position error, in
+        meters.  Typical consumer GPS accuracy is 3-10 m.
+    dropout_probability:
+        Probability that any individual fix is lost.
+    seed:
+        Seed of the random generator (per-model, so repeated calls on the same
+        model produce different draws while whole experiments stay
+        reproducible).
+    """
+
+    horizontal_error_m: float = 5.0
+    dropout_probability: float = 0.02
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.horizontal_error_m < 0.0:
+            raise ValueError("horizontal_error_m must be non-negative")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout_probability must lie in [0, 1)")
+
+
+class GpsNoiseModel:
+    """Applies measurement noise and sample dropout to trajectories."""
+
+    def __init__(self, config: Optional[GpsNoiseConfig] = None) -> None:
+        self.config = config or GpsNoiseConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def apply(self, trajectory: Trajectory) -> Trajectory:
+        """Return a noisy copy of ``trajectory``.
+
+        At least one fix is always retained (a completely dropped trace would
+        silently remove the user from the dataset, which is a workload change
+        rather than a noise effect).
+        """
+        if len(trajectory) == 0:
+            return trajectory
+        cfg = self.config
+        ts = np.asarray(trajectory.timestamps)
+        lats = np.asarray(trajectory.lats, dtype=float).copy()
+        lons = np.asarray(trajectory.lons, dtype=float).copy()
+
+        if cfg.horizontal_error_m > 0.0:
+            lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
+            noise_north = self._rng.normal(0.0, cfg.horizontal_error_m, size=lats.size)
+            noise_east = self._rng.normal(0.0, cfg.horizontal_error_m, size=lons.size)
+            lats = lats + noise_north / lat_m
+            lons = lons + noise_east / lon_m
+
+        keep = self._rng.random(ts.size) >= cfg.dropout_probability
+        if not np.any(keep):
+            keep[0] = True
+        return Trajectory(trajectory.user_id, ts[keep], lats[keep], lons[keep])

@@ -1,0 +1,231 @@
+"""Daily activity schedules of synthetic users.
+
+A schedule is the ground-truth plan of one user for one day: an ordered list
+of :class:`Visit` items, each at a specific :class:`~repro.datagen.city.POI`
+with an arrival and a departure time.  The :class:`ScheduleGenerator` builds
+weekday-style routines (home → work → lunch/leisure → work → optional evening
+activity → home) with randomized times and durations, plus lighter weekend
+routines.
+
+Stops are the ground truth against which the POI-extraction attack is scored:
+every visit longer than the attack's minimum stay duration *should* be found
+on raw data, and should disappear from properly protected data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .city import City, POI, POICategory
+
+__all__ = ["Visit", "DailySchedule", "UserProfile", "ScheduleGenerator", "ScheduleConfig"]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class Visit:
+    """A stop at a POI between ``arrival`` and ``departure`` (POSIX seconds)."""
+
+    poi: POI
+    arrival: float
+    departure: float
+
+    def __post_init__(self) -> None:
+        if self.departure < self.arrival:
+            raise ValueError("visit departs before it arrives")
+
+    @property
+    def duration(self) -> float:
+        """Stay duration in seconds."""
+        return self.departure - self.arrival
+
+
+@dataclass(frozen=True)
+class DailySchedule:
+    """The ordered visits of one user during one day."""
+
+    user_id: str
+    day_index: int
+    visits: Sequence[Visit]
+
+    def __post_init__(self) -> None:
+        arrivals = [v.arrival for v in self.visits]
+        if arrivals != sorted(arrivals):
+            raise ValueError("visits must be ordered by arrival time")
+
+    @property
+    def stops(self) -> List[Visit]:
+        """Alias for ``visits`` (terminology used by the attack literature)."""
+        return list(self.visits)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """The fixed anchors of a synthetic user: home, workplace, favourite places."""
+
+    user_id: str
+    home: POI
+    work: POI
+    favourite_leisure: Sequence[POI]
+    commutes_via_transit: bool
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Knobs of the schedule generator (times in hours, durations in minutes)."""
+
+    work_start_hour: float = 9.0
+    work_start_jitter_hours: float = 1.0
+    work_duration_hours: float = 8.0
+    work_duration_jitter_hours: float = 1.0
+    lunch_probability: float = 0.6
+    lunch_duration_minutes: float = 45.0
+    evening_leisure_probability: float = 0.5
+    leisure_duration_minutes: float = 90.0
+    weekend_leisure_probability: float = 0.8
+    n_favourite_leisure: int = 3
+    transit_commuter_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "lunch_probability",
+            "evening_leisure_probability",
+            "weekend_leisure_probability",
+            "transit_commuter_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.n_favourite_leisure < 1:
+            raise ValueError("n_favourite_leisure must be at least 1")
+
+
+class ScheduleGenerator:
+    """Draws user profiles and daily schedules from a synthetic city."""
+
+    def __init__(self, city: City, config: Optional[ScheduleConfig] = None, seed: int = 0) -> None:
+        self.city = city
+        self.config = config or ScheduleConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # -- user profiles --------------------------------------------------------------
+
+    def make_profiles(self, n_users: int) -> List[UserProfile]:
+        """Assign a home, a workplace and favourite leisure POIs to each user.
+
+        Homes are drawn without replacement while possible (each user has her
+        own home), workplaces with replacement (several users share an
+        employer — this creates recurring co-locations, i.e. mix-zones).
+        """
+        cfg = self.config
+        homes = self.city.pois_of(POICategory.HOME)
+        works = self.city.pois_of(POICategory.WORK)
+        leisure = self.city.pois_of(POICategory.LEISURE)
+        if not homes or not works or not leisure:
+            raise ValueError("the city must contain home, work and leisure POIs")
+
+        home_order = self._rng.permutation(len(homes))
+        profiles: List[UserProfile] = []
+        for i in range(n_users):
+            home = homes[int(home_order[i % len(homes)])]
+            work = works[int(self._rng.integers(0, len(works)))]
+            n_fav = min(cfg.n_favourite_leisure, len(leisure))
+            fav_idx = self._rng.choice(len(leisure), size=n_fav, replace=False)
+            favs = [leisure[int(j)] for j in fav_idx]
+            via_transit = bool(self._rng.random() < cfg.transit_commuter_fraction)
+            profiles.append(
+                UserProfile(
+                    user_id=f"user_{i:03d}",
+                    home=home,
+                    work=work,
+                    favourite_leisure=favs,
+                    commutes_via_transit=via_transit,
+                )
+            )
+        return profiles
+
+    # -- daily schedules ---------------------------------------------------------------
+
+    def make_schedule(self, profile: UserProfile, day_index: int, epoch: float = 0.0) -> DailySchedule:
+        """Build the schedule of ``profile`` for day ``day_index``.
+
+        ``epoch`` is the POSIX timestamp of day 0 at midnight; all visit times
+        are offset from it.  Weekdays (day_index % 7 < 5) follow a commuting
+        routine, weekends a leisure routine.
+        """
+        day_start = epoch + day_index * _SECONDS_PER_DAY
+        is_weekend = day_index % 7 >= 5
+        if is_weekend:
+            visits = self._weekend_visits(profile, day_start)
+        else:
+            visits = self._weekday_visits(profile, day_start)
+        return DailySchedule(user_id=profile.user_id, day_index=day_index, visits=visits)
+
+    def make_schedules(
+        self, profiles: Sequence[UserProfile], n_days: int, epoch: float = 0.0
+    ) -> List[DailySchedule]:
+        """All schedules for every profile over ``n_days`` consecutive days."""
+        return [
+            self.make_schedule(profile, day, epoch)
+            for profile in profiles
+            for day in range(n_days)
+        ]
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _weekday_visits(self, profile: UserProfile, day_start: float) -> List[Visit]:
+        cfg = self.config
+        rng = self._rng
+        work_arrival = day_start + (
+            cfg.work_start_hour + rng.uniform(-1.0, 1.0) * cfg.work_start_jitter_hours
+        ) * _SECONDS_PER_HOUR
+        work_duration = (
+            cfg.work_duration_hours + rng.uniform(-1.0, 1.0) * cfg.work_duration_jitter_hours
+        ) * _SECONDS_PER_HOUR
+        # Leave home 20-60 minutes before work starts (commute headroom).
+        home_departure = work_arrival - rng.uniform(20.0, 60.0) * 60.0
+        visits: List[Visit] = [Visit(profile.home, day_start, home_departure)]
+
+        work_end = work_arrival + work_duration
+        if rng.random() < cfg.lunch_probability and profile.favourite_leisure:
+            lunch_poi = profile.favourite_leisure[int(rng.integers(0, len(profile.favourite_leisure)))]
+            lunch_start = work_arrival + 3.5 * _SECONDS_PER_HOUR
+            lunch_end = lunch_start + cfg.lunch_duration_minutes * 60.0
+            visits.append(Visit(profile.work, work_arrival, lunch_start))
+            visits.append(Visit(lunch_poi, lunch_start, lunch_end))
+            visits.append(Visit(profile.work, lunch_end, work_end))
+        else:
+            visits.append(Visit(profile.work, work_arrival, work_end))
+
+        home_return = work_end + rng.uniform(20.0, 60.0) * 60.0
+        if rng.random() < cfg.evening_leisure_probability and profile.favourite_leisure:
+            poi = profile.favourite_leisure[int(rng.integers(0, len(profile.favourite_leisure)))]
+            leisure_start = home_return
+            leisure_end = leisure_start + cfg.leisure_duration_minutes * 60.0
+            visits.append(Visit(poi, leisure_start, leisure_end))
+            home_return = leisure_end + rng.uniform(15.0, 40.0) * 60.0
+        visits.append(Visit(profile.home, home_return, day_start + _SECONDS_PER_DAY))
+        return visits
+
+    def _weekend_visits(self, profile: UserProfile, day_start: float) -> List[Visit]:
+        cfg = self.config
+        rng = self._rng
+        visits: List[Visit] = []
+        morning_end = day_start + rng.uniform(10.0, 12.0) * _SECONDS_PER_HOUR
+        visits.append(Visit(profile.home, day_start, morning_end))
+        cursor = morning_end
+        if rng.random() < cfg.weekend_leisure_probability and profile.favourite_leisure:
+            n_outings = int(rng.integers(1, 3))
+            for _ in range(n_outings):
+                poi = profile.favourite_leisure[int(rng.integers(0, len(profile.favourite_leisure)))]
+                start = cursor + rng.uniform(20.0, 50.0) * 60.0
+                end = start + rng.uniform(1.0, 3.0) * _SECONDS_PER_HOUR
+                visits.append(Visit(poi, start, end))
+                cursor = end
+        visits.append(Visit(profile.home, cursor + rng.uniform(20.0, 50.0) * 60.0, day_start + _SECONDS_PER_DAY))
+        return visits

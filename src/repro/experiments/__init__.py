@@ -1,0 +1,41 @@
+"""Experiment harness: workloads, runners and output formatting."""
+
+from .formatting import format_percent, format_series, format_table
+from .runner import (
+    default_mechanisms,
+    ground_truth_pois,
+    run_area_coverage,
+    run_mixzone_stats,
+    run_poi_retrieval,
+    run_reidentification,
+    run_spatial_distortion,
+    run_tracking,
+    run_tradeoff_frontier,
+)
+from .workloads import (
+    WORKLOAD_SCALES,
+    crossing_rich_world,
+    figure1_world,
+    split_train_publish,
+    standard_world,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_percent",
+    "default_mechanisms",
+    "ground_truth_pois",
+    "run_poi_retrieval",
+    "run_spatial_distortion",
+    "run_area_coverage",
+    "run_reidentification",
+    "run_tracking",
+    "run_tradeoff_frontier",
+    "run_mixzone_stats",
+    "WORKLOAD_SCALES",
+    "standard_world",
+    "crossing_rich_world",
+    "figure1_world",
+    "split_train_publish",
+]

@@ -1,0 +1,56 @@
+"""Plain-text table and series formatting for experiment outputs.
+
+Benchmarks print their results as aligned text tables so that the regenerated
+"tables and figures" of EXPERIMENTS.md are readable directly from the pytest
+output, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned plain-text table.
+
+    Numeric cells are formatted with three decimals; everything else uses
+    ``str``.  The return value ends with a newline so it can be printed
+    directly.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_format_cell(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render an (x, y) series as the two-column table of a figure's data."""
+    return format_table(["x", name], list(zip(xs, ys)))
+
+
+def format_percent(value: float) -> str:
+    """Format a ratio as a percentage with one decimal (``0.61 -> '61.0%'``)."""
+    return f"{100.0 * value:.1f}%"
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,464 @@
+"""Experiment runners: the logic behind every benchmark of EXPERIMENTS.md.
+
+Each ``run_*`` function takes a workload (usually a
+:class:`~repro.datagen.mobility.SyntheticWorld`) plus the parameters of one
+experiment of DESIGN.md, runs the mechanisms and attacks, and returns plain
+rows (lists of dictionaries) ready to be formatted with
+:mod:`repro.experiments.formatting`.  Benchmarks stay thin: they build the
+workload, call the runner inside ``benchmark(...)`` and print the rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.djcluster import DjCluster, DjClusterConfig
+from ..attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
+from ..attacks.reident import FootprintReidentifier, ReidentificationConfig, Reidentifier
+from ..attacks.tracking import MultiTargetTracker, TrackingConfig
+from ..baselines.base import PublicationMechanism
+from ..baselines.geo_indistinguishability import GeoIndConfig, GeoIndistinguishabilityMechanism
+from ..baselines.paper import FullPipelineMechanism, SpeedSmoothingMechanism
+from ..baselines.trivial import DownsamplingMechanism, IdentityMechanism, PseudonymizationMechanism
+from ..baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
+from ..core.pipeline import AnonymizerConfig
+from ..core.speed_smoothing import SpeedSmoothingConfig
+from ..core.trajectory import MobilityDataset
+from ..datagen.mobility import SyntheticWorld
+from ..metrics.privacy import (
+    empirical_mixing_entropy_bits,
+    majority_owner,
+    poi_retrieval_pooled,
+    tracking_success,
+)
+from ..metrics.utility import (
+    area_coverage,
+    dataset_spatial_distortion,
+    point_retention,
+    range_query_distortion,
+    trip_length_error,
+)
+from ..mixzones.detection import MixZoneDetectionConfig
+from ..mixzones.swapping import SwapConfig, SwapPolicy
+from .workloads import split_train_publish
+
+__all__ = [
+    "default_mechanisms",
+    "ground_truth_pois",
+    "run_poi_retrieval",
+    "run_spatial_distortion",
+    "run_area_coverage",
+    "run_reidentification",
+    "run_tracking",
+    "run_tradeoff_frontier",
+    "run_mixzone_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Mechanism suites and ground truth
+# ---------------------------------------------------------------------------
+
+
+def default_mechanisms(seed: int = 0) -> Dict[str, PublicationMechanism]:
+    """The standard comparison suite used by E1-E3 and E6.
+
+    Includes the raw-publication anchor, the paper's smoothing at two spacing
+    values, the full pipeline, Geo-Indistinguishability at two privacy levels,
+    Wait-For-Me, and naive down-sampling.
+    """
+    return {
+        "raw": IdentityMechanism(),
+        "smoothing-eps100": SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=100.0)),
+        "smoothing-eps200": SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=200.0)),
+        "paper-full": FullPipelineMechanism(
+            AnonymizerConfig(swapping=SwapConfig(policy=SwapPolicy.COIN_FLIP, seed=seed))
+        ),
+        "geo-ind-strong": GeoIndistinguishabilityMechanism(
+            GeoIndConfig(epsilon_per_m=math.log(2.0) / 200.0, seed=seed)
+        ),
+        "geo-ind-weak": GeoIndistinguishabilityMechanism(
+            GeoIndConfig(epsilon_per_m=math.log(10.0) / 200.0, seed=seed)
+        ),
+        "wait4me-k4-d500": Wait4MeMechanism(Wait4MeConfig(k=4, delta_m=500.0, seed=seed)),
+        "downsample-x10": DownsamplingMechanism(factor=10),
+    }
+
+
+def ground_truth_pois(world: SyntheticWorld, min_stay_s: float = 900.0) -> List[Tuple[float, float]]:
+    """Distinct ground-truth POI locations visited long enough to be attackable."""
+    seen: Dict[str, Tuple[float, float]] = {}
+    for user_id in world.user_ids:
+        for poi in world.true_pois_of(user_id, min_stay_s=min_stay_s):
+            seen[poi.poi_id] = (poi.lat, poi.lon)
+    return list(seen.values())
+
+
+# ---------------------------------------------------------------------------
+# E1 — POI retrieval
+# ---------------------------------------------------------------------------
+
+
+def run_poi_retrieval(
+    world: SyntheticWorld,
+    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+    attack: str = "staypoint",
+    match_distance_m: float = 250.0,
+    min_stay_s: float = 900.0,
+    adaptive_attacker: bool = True,
+) -> List[Dict[str, object]]:
+    """Experiment E1: POI retrieval precision / recall / F-score per mechanism.
+
+    ``attack`` selects the extraction algorithm (``"staypoint"`` or
+    ``"djcluster"``).  POIs are pooled across users before scoring because
+    published identifiers may be pseudonymous or swapped.
+
+    When ``adaptive_attacker`` is true (default), the attack parameters are
+    scaled to each mechanism's public noise level: a Geo-Indistinguishability
+    release announces its ``epsilon``, so a realistic attacker widens the
+    clustering diameter to a few times the expected noise radius before
+    searching for stays — this is how Primault et al. (MOST'14) showed that
+    the mechanism leaves the majority of POIs recoverable.  Non-noising
+    mechanisms are attacked with the standard parameters.
+    """
+    mechanisms = mechanisms or default_mechanisms()
+    truth = ground_truth_pois(world, min_stay_s=min_stay_s)
+
+    rows: List[Dict[str, object]] = []
+    for name, mechanism in mechanisms.items():
+        published = mechanism.publish(world.dataset)
+        diameter = _attack_diameter(mechanism) if adaptive_attacker else 200.0
+        extractor = _build_extractor(attack, min_stay_s, diameter)
+        extracted = [poi for pois in extractor(published).values() for poi in pois]
+        score = poi_retrieval_pooled(truth, extracted, match_distance_m=match_distance_m)
+        rows.append(
+            {
+                "mechanism": name,
+                "attack": attack,
+                "precision": score.precision,
+                "recall": score.recall,
+                "f_score": score.f_score,
+                "n_true_pois": score.n_true,
+                "n_extracted": score.n_extracted,
+            }
+        )
+    return rows
+
+
+def _attack_diameter(mechanism: PublicationMechanism, base_m: float = 200.0) -> float:
+    """Clustering diameter an informed attacker would use against ``mechanism``.
+
+    The planar Laplace noise of Geo-Indistinguishability has mean radius
+    ``2 / epsilon``; two independently noised reports of the same place are on
+    average about twice that apart, so the attacker clusters with a diameter of
+    the standard value plus four expected noise radii.
+    """
+    if isinstance(mechanism, GeoIndistinguishabilityMechanism):
+        noise_radius = 2.0 / mechanism.config.epsilon_per_m
+        return base_m + 4.0 * noise_radius
+    return base_m
+
+
+def _build_extractor(
+    attack: str, min_stay_s: float, max_diameter_m: float = 200.0
+) -> Callable[[MobilityDataset], Dict[str, list]]:
+    if attack == "staypoint":
+        extractor = PoiExtractor(
+            PoiExtractionConfig(
+                min_duration_s=min_stay_s,
+                max_diameter_m=max_diameter_m,
+                merge_distance_m=max_diameter_m / 2.0,
+            )
+        )
+        return extractor.extract_dataset
+    if attack == "djcluster":
+        clusterer = DjCluster(DjClusterConfig(eps_m=max(100.0, max_diameter_m / 2.0)))
+        return clusterer.extract_dataset
+    raise ValueError(f"unknown attack {attack!r}; choose 'staypoint' or 'djcluster'")
+
+
+# ---------------------------------------------------------------------------
+# E2 — spatial distortion
+# ---------------------------------------------------------------------------
+
+
+def run_spatial_distortion(
+    world: SyntheticWorld,
+    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+) -> List[Dict[str, object]]:
+    """Experiment E2: spatial distortion and point retention per mechanism."""
+    mechanisms = mechanisms or default_mechanisms()
+    rows: List[Dict[str, object]] = []
+    for name, mechanism in mechanisms.items():
+        published = mechanism.publish(world.dataset)
+        summary = dataset_spatial_distortion(world.dataset, published, match_by_user=False)
+        rows.append(
+            {
+                "mechanism": name,
+                "mean_m": summary.mean,
+                "median_m": summary.median,
+                "p95_m": summary.p95,
+                "max_m": summary.max,
+                "point_retention": point_retention(world.dataset, published),
+                "trip_length_error": trip_length_error(world.dataset, published),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 — area coverage
+# ---------------------------------------------------------------------------
+
+
+def run_area_coverage(
+    world: SyntheticWorld,
+    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+    cell_sizes_m: Sequence[float] = (100.0, 200.0, 400.0, 800.0),
+) -> List[Dict[str, object]]:
+    """Experiment E3: cell-cover F-score per mechanism and cell size."""
+    mechanisms = mechanisms or default_mechanisms()
+    rows: List[Dict[str, object]] = []
+    for name, mechanism in mechanisms.items():
+        published = mechanism.publish(world.dataset)
+        for cell_size in cell_sizes_m:
+            score = area_coverage(world.dataset, published, cell_size_m=cell_size)
+            rows.append(
+                {
+                    "mechanism": name,
+                    "cell_size_m": cell_size,
+                    "precision": score.precision,
+                    "recall": score.recall,
+                    "f_score": score.f_score,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4 — re-identification
+# ---------------------------------------------------------------------------
+
+
+def run_reidentification(
+    world: SyntheticWorld,
+    train_fraction: float = 0.5,
+    match_distance_m: float = 250.0,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Experiment E4: re-identification rate with and without swapping.
+
+    The attacker's knowledge comes from the first (raw) half of the data; the
+    second half is published through each variant.  Variants compare plain
+    pseudonymisation, smoothing, and the full pipeline under the three swap
+    policies, isolating the contribution of trajectory swapping.
+
+    Two attackers are reported: the POI-matching attacker (defeated as soon as
+    POIs are hidden) and the spatial-footprint attacker (only defeated when
+    user segments are actually mixed by the swapping step).
+    """
+    training, publish = split_train_publish(world, train_fraction)
+    poi_attacker = Reidentifier(ReidentificationConfig(match_distance_m=match_distance_m))
+    poi_knowledge = poi_attacker.knowledge_from_dataset(training)
+    footprint_attacker = FootprintReidentifier()
+    footprint_knowledge = footprint_attacker.knowledge_from_dataset(
+        training, bbox=world.dataset.bbox.expanded(500.0)
+    )
+
+    def score_both(published: MobilityDataset, truth: Dict[str, str]) -> Tuple[float, float]:
+        poi_rate = poi_attacker.attack(published, poi_knowledge).accuracy(truth)
+        footprint_rate = footprint_attacker.attack(published, footprint_knowledge).accuracy(truth)
+        return poi_rate, footprint_rate
+
+    rows: List[Dict[str, object]] = []
+
+    # Variant 1: pseudonymisation only (the naive practice the paper criticises).
+    published = PseudonymizationMechanism(seed=seed).publish(publish)
+    truth = _pseudonym_truth(publish, published)
+    poi_rate, footprint_rate = score_both(published, truth)
+    rows.append(_reident_row("pseudonyms-only", poi_rate, footprint_rate, len(published)))
+
+    # Variant 2: speed smoothing, then pseudonyms (first mechanism alone).
+    smoothed = SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=100.0)).publish(publish)
+    published = PseudonymizationMechanism(seed=seed).publish(smoothed)
+    truth = _pseudonym_truth(smoothed, published)
+    poi_rate, footprint_rate = score_both(published, truth)
+    rows.append(_reident_row("smoothing+pseudonyms", poi_rate, footprint_rate, len(published)))
+
+    # Variants 3-5: the full pipeline under each swap policy.
+    for policy in (SwapPolicy.NEVER, SwapPolicy.COIN_FLIP, SwapPolicy.ALWAYS):
+        mechanism = FullPipelineMechanism(
+            AnonymizerConfig(swapping=SwapConfig(policy=policy, seed=seed))
+        )
+        published = mechanism.publish(publish)
+        report = mechanism.last_report
+        truth = {
+            label: majority_owner(segments)
+            for label, segments in report.segment_ownership.items()
+            if majority_owner(segments) is not None
+        }
+        poi_rate, footprint_rate = score_both(published, truth)
+        rows.append(
+            _reident_row(
+                f"paper-full(swap={policy.value})",
+                poi_rate,
+                footprint_rate,
+                len(published),
+                n_zones=report.n_zones,
+                n_swaps=report.n_swaps,
+            )
+        )
+    return rows
+
+
+def _pseudonym_truth(
+    before: MobilityDataset, published: MobilityDataset
+) -> Dict[str, str]:
+    """Recover the pseudonym -> user mapping by matching identical trajectories."""
+    truth: Dict[str, str] = {}
+    for traj in published:
+        for original in before:
+            if len(original) == len(traj) and np.array_equal(
+                np.asarray(original.timestamps), np.asarray(traj.timestamps)
+            ):
+                truth[traj.user_id] = original.user_id
+                break
+    return truth
+
+
+def _reident_row(
+    variant: str,
+    poi_rate: float,
+    footprint_rate: float,
+    n_published: int,
+    n_zones: int = 0,
+    n_swaps: int = 0,
+) -> Dict[str, object]:
+    return {
+        "variant": variant,
+        "poi_attack_rate": poi_rate,
+        "footprint_attack_rate": footprint_rate,
+        "published_users": n_published,
+        "n_zones": n_zones,
+        "n_swaps": n_swaps,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E5 / E8 — tracking confusion and mix-zone statistics
+# ---------------------------------------------------------------------------
+
+
+def run_tracking(
+    world: SyntheticWorld,
+    zone_radii_m: Sequence[float] = (50.0, 100.0, 200.0),
+    policy: SwapPolicy = SwapPolicy.ALWAYS,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Experiment E5: multi-target tracking success versus mix-zone radius."""
+    rows: List[Dict[str, object]] = []
+    tracker = MultiTargetTracker(TrackingConfig())
+    for radius in zone_radii_m:
+        mechanism = FullPipelineMechanism(
+            AnonymizerConfig(
+                detection=MixZoneDetectionConfig(radius_m=radius),
+                swapping=SwapConfig(policy=policy, seed=seed),
+            )
+        )
+        published = mechanism.publish(world.dataset)
+        report = mechanism.last_report
+        linkages = tracker.link_zones(published, [r.zone for r in report.swap_records])
+        success = tracking_success(linkages, report.swap_records)
+        rows.append(
+            {
+                "zone_radius_m": radius,
+                "swap_policy": policy.value,
+                "n_zones": report.n_zones,
+                "n_swapped_zones": report.n_swaps,
+                "tracking_success": success,
+                "mixing_entropy_bits": empirical_mixing_entropy_bits(report.swap_records),
+                "suppressed_points": report.suppressed_points,
+            }
+        )
+    return rows
+
+
+def run_mixzone_stats(
+    world: SyntheticWorld,
+    zone_radii_m: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
+) -> List[Dict[str, object]]:
+    """Experiment E8: how many natural mix-zones exist at each radius."""
+    from ..mixzones.detection import MixZoneDetector
+
+    rows: List[Dict[str, object]] = []
+    for radius in zone_radii_m:
+        detector = MixZoneDetector(MixZoneDetectionConfig(radius_m=radius))
+        zones = detector.detect(world.dataset)
+        sizes = [z.n_participants for z in zones] or [0]
+        rows.append(
+            {
+                "zone_radius_m": radius,
+                "n_zones": len(zones),
+                "mean_participants": float(np.mean(sizes)),
+                "max_participants": int(np.max(sizes)),
+                "mean_entropy_bits": float(np.mean([z.anonymity_set_entropy_bits() for z in zones]))
+                if zones
+                else 0.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6 — privacy/utility trade-off frontier
+# ---------------------------------------------------------------------------
+
+
+def run_tradeoff_frontier(
+    world: SyntheticWorld,
+    match_distance_m: float = 250.0,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Experiment E6: (POI F-score, median distortion) per mechanism and parameter.
+
+    Sweeps the main knob of each mechanism family and reports, for every
+    setting, the privacy achieved (POI retrieval F-score, lower is better) and
+    the utility cost (median spatial distortion in meters plus area coverage).
+    """
+    sweeps: List[Tuple[str, PublicationMechanism]] = []
+    for epsilon_m in (50.0, 100.0, 200.0, 400.0):
+        sweeps.append(
+            (f"smoothing-eps{int(epsilon_m)}", SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=epsilon_m)))
+        )
+    for label, ratio in (("l2-200m", math.log(2.0) / 200.0), ("l4-200m", math.log(4.0) / 200.0), ("l10-200m", math.log(10.0) / 200.0)):
+        sweeps.append((f"geo-ind-{label}", GeoIndistinguishabilityMechanism(GeoIndConfig(epsilon_per_m=ratio, seed=seed))))
+    for k, delta in ((2, 250.0), (4, 500.0), (8, 1000.0)):
+        sweeps.append((f"wait4me-k{k}-d{int(delta)}", Wait4MeMechanism(Wait4MeConfig(k=k, delta_m=delta, seed=seed))))
+    sweeps.append(("paper-full", FullPipelineMechanism(AnonymizerConfig(swapping=SwapConfig(seed=seed)))))
+    sweeps.append(("raw", IdentityMechanism()))
+
+    truth = ground_truth_pois(world)
+    extractor = PoiExtractor(PoiExtractionConfig())
+    rows: List[Dict[str, object]] = []
+    for name, mechanism in sweeps:
+        published = mechanism.publish(world.dataset)
+        extracted = [poi for pois in extractor.extract_dataset(published).values() for poi in pois]
+        poi_score = poi_retrieval_pooled(truth, extracted, match_distance_m=match_distance_m)
+        distortion = dataset_spatial_distortion(world.dataset, published, match_by_user=False)
+        coverage = area_coverage(world.dataset, published, cell_size_m=200.0)
+        rows.append(
+            {
+                "mechanism": name,
+                "poi_f_score": poi_score.f_score,
+                "poi_recall": poi_score.recall,
+                "median_distortion_m": distortion.median,
+                "area_coverage_f": coverage.f_score,
+                "point_retention": point_retention(world.dataset, published),
+                "range_query_error": range_query_distortion(world.dataset, published, n_queries=100, seed=seed),
+            }
+        )
+    return rows

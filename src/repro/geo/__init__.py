@@ -1,0 +1,52 @@
+"""Geodesy, planar projection, geometry and spatial indexing substrate."""
+
+from .distance import (
+    EARTH_RADIUS_METERS,
+    destination_point,
+    equirectangular,
+    equirectangular_array,
+    haversine,
+    haversine_array,
+    initial_bearing,
+    meters_per_degree,
+    pairwise_haversine,
+)
+from .geometry import (
+    BoundingBox,
+    interpolate_position,
+    point_segment_distance_m,
+    point_to_polyline_distance_m,
+)
+from .grid import CellIndex, Grid
+from .polyline import (
+    cumulative_distances,
+    path_length,
+    position_at_distance,
+    resample_at_distances,
+    resample_by_distance,
+)
+from .projection import LocalProjection
+
+__all__ = [
+    "EARTH_RADIUS_METERS",
+    "haversine",
+    "haversine_array",
+    "equirectangular",
+    "equirectangular_array",
+    "pairwise_haversine",
+    "destination_point",
+    "initial_bearing",
+    "meters_per_degree",
+    "BoundingBox",
+    "interpolate_position",
+    "point_segment_distance_m",
+    "point_to_polyline_distance_m",
+    "Grid",
+    "CellIndex",
+    "cumulative_distances",
+    "path_length",
+    "position_at_distance",
+    "resample_at_distances",
+    "resample_by_distance",
+    "LocalProjection",
+]

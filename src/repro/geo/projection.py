@@ -1,0 +1,87 @@
+"""Local planar projections for small geographic areas.
+
+Many algorithms in this library (clustering, mix-zone geometry, noise
+mechanisms) are much simpler to express in a local Cartesian frame measured in
+meters than directly on latitude/longitude.  :class:`LocalProjection`
+implements an equirectangular (plate carrée scaled by ``cos(lat0)``) projection
+centred on a reference point.  Within a metropolitan area (tens of kilometres)
+the distortion is negligible for our purposes (< 0.1 %).
+
+The projection is exactly invertible, so a round trip
+``unproject(project(p)) == p`` holds up to floating point error; this is
+relied upon by the Geo-Indistinguishability mechanism which adds metric noise
+in the projected plane and maps the result back to coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .distance import EARTH_RADIUS_METERS
+
+__all__ = ["LocalProjection"]
+
+
+@dataclass(frozen=True)
+class LocalProjection:
+    """An equirectangular projection centred at ``(origin_lat, origin_lon)``.
+
+    The projected plane has its origin at the reference point, the x axis
+    pointing east and the y axis pointing north, both measured in meters.
+    """
+
+    origin_lat: float
+    origin_lon: float
+
+    @classmethod
+    def centered_on(cls, lats: np.ndarray, lons: np.ndarray) -> "LocalProjection":
+        """Build a projection centred on the centroid of the given coordinates."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        if lats.size == 0:
+            raise ValueError("cannot center a projection on an empty set of coordinates")
+        return cls(float(np.mean(lats)), float(np.mean(lons)))
+
+    # -- scalar API --------------------------------------------------------
+
+    def project(self, lat: float, lon: float) -> Tuple[float, float]:
+        """Project a ``(lat, lon)`` pair to planar ``(x, y)`` meters."""
+        x = math.radians(lon - self.origin_lon) * self._cos_lat0 * EARTH_RADIUS_METERS
+        y = math.radians(lat - self.origin_lat) * EARTH_RADIUS_METERS
+        return x, y
+
+    def unproject(self, x: float, y: float) -> Tuple[float, float]:
+        """Map planar ``(x, y)`` meters back to a ``(lat, lon)`` pair."""
+        lat = self.origin_lat + math.degrees(y / EARTH_RADIUS_METERS)
+        lon = self.origin_lon + math.degrees(x / (EARTH_RADIUS_METERS * self._cos_lat0))
+        return lat, lon
+
+    # -- vectorised API ----------------------------------------------------
+
+    def project_array(self, lats: np.ndarray, lons: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`project`; returns ``(xs, ys)`` arrays in meters."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        xs = np.radians(lons - self.origin_lon) * self._cos_lat0 * EARTH_RADIUS_METERS
+        ys = np.radians(lats - self.origin_lat) * EARTH_RADIUS_METERS
+        return xs, ys
+
+    def unproject_array(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`unproject`; returns ``(lats, lons)`` arrays in degrees."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        lats = self.origin_lat + np.degrees(ys / EARTH_RADIUS_METERS)
+        lons = self.origin_lon + np.degrees(xs / (EARTH_RADIUS_METERS * self._cos_lat0))
+        return lats, lons
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _cos_lat0(self) -> float:
+        cos_lat0 = math.cos(math.radians(self.origin_lat))
+        # Degenerate at the poles: clamp so longitudes remain invertible.
+        return max(cos_lat0, 1e-12)

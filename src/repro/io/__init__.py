@@ -1,0 +1,30 @@
+"""Trace I/O: GeoLife PLT, generic CSV and GeoJSON export."""
+
+from .csv_io import read_csv, write_csv
+from .geojson import (
+    dataset_to_feature_collection,
+    mixzone_to_feature,
+    trajectory_to_feature,
+    write_geojson,
+)
+from .geolife import (
+    read_geolife_directory,
+    read_geolife_user,
+    read_plt_file,
+    write_geolife_directory,
+    write_plt_file,
+)
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "read_plt_file",
+    "write_plt_file",
+    "read_geolife_user",
+    "read_geolife_directory",
+    "write_geolife_directory",
+    "trajectory_to_feature",
+    "mixzone_to_feature",
+    "dataset_to_feature_collection",
+    "write_geojson",
+]

@@ -1,0 +1,68 @@
+"""Generic CSV interchange format for mobility datasets.
+
+The CSV layout is one fix per row with a header::
+
+    user_id,timestamp,lat,lon
+
+Timestamps are POSIX seconds.  This is the simplest way to move data in and
+out of the library (spreadsheets, pandas, other languages) and the format the
+examples use to persist their published datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List
+
+from ..core.trajectory import MobilityDataset, Trajectory
+
+__all__ = ["read_csv", "write_csv"]
+
+_FIELDS = ["user_id", "timestamp", "lat", "lon"]
+
+
+def write_csv(path: str | Path, dataset: MobilityDataset) -> None:
+    """Write a dataset to a CSV file (one row per fix, header included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for trajectory in dataset:
+            for point in trajectory:
+                writer.writerow(
+                    [trajectory.user_id, f"{point.timestamp:.3f}", f"{point.lat:.7f}", f"{point.lon:.7f}"]
+                )
+
+
+def read_csv(path: str | Path) -> MobilityDataset:
+    """Read a dataset from a CSV file produced by :func:`write_csv`.
+
+    Rows with missing or non-numeric fields raise ``ValueError`` (silently
+    dropping data during an evaluation would bias the results).
+    """
+    path = Path(path)
+    per_user: Dict[str, List[List[float]]] = {}
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = [f for f in _FIELDS if f not in (reader.fieldnames or [])]
+        if missing:
+            raise ValueError(f"CSV file {path} is missing columns: {missing}")
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                user_id = row["user_id"]
+                timestamp = float(row["timestamp"])
+                lat = float(row["lat"])
+                lon = float(row["lon"])
+            except (TypeError, ValueError, KeyError) as exc:
+                raise ValueError(f"malformed CSV row {row_number} in {path}: {row}") from exc
+            per_user.setdefault(user_id, [[], [], []])
+            per_user[user_id][0].append(timestamp)
+            per_user[user_id][1].append(lat)
+            per_user[user_id][2].append(lon)
+    trajectories = [
+        Trajectory(user_id, columns[0], columns[1], columns[2])
+        for user_id, columns in per_user.items()
+    ]
+    return MobilityDataset(trajectories)

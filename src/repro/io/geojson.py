@@ -1,0 +1,82 @@
+"""GeoJSON export of mobility datasets and mix-zones.
+
+GeoJSON is the lingua franca of web mapping tools (Leaflet, kepler.gl,
+geojson.io); exporting the published dataset and the detected mix-zones as a
+``FeatureCollection`` is the quickest way to eyeball a result — including a
+visual reproduction of the paper's Figure 1 (see
+``examples/figure1_reproduction.py``).
+
+Trajectories are exported as ``LineString`` features (coordinate order is
+GeoJSON's ``[lon, lat]``), mix-zones as ``Point`` features carrying their
+radius and time window as properties.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..core.trajectory import MobilityDataset, Trajectory
+from ..mixzones.zones import MixZone
+
+__all__ = [
+    "trajectory_to_feature",
+    "mixzone_to_feature",
+    "dataset_to_feature_collection",
+    "write_geojson",
+]
+
+
+def trajectory_to_feature(trajectory: Trajectory, properties: Optional[Dict] = None) -> Dict:
+    """A GeoJSON ``LineString`` feature for one trajectory."""
+    coordinates = [[float(lon), float(lat)] for lat, lon in zip(trajectory.lats, trajectory.lons)]
+    props = {"user_id": trajectory.user_id, "n_points": len(trajectory)}
+    if len(trajectory) > 0:
+        props["t_start"] = float(trajectory.first.timestamp)
+        props["t_end"] = float(trajectory.last.timestamp)
+    if properties:
+        props.update(properties)
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coordinates},
+        "properties": props,
+    }
+
+
+def mixzone_to_feature(zone: MixZone) -> Dict:
+    """A GeoJSON ``Point`` feature for one mix-zone (radius in properties)."""
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "Point",
+            "coordinates": [float(zone.center_lon), float(zone.center_lat)],
+        },
+        "properties": {
+            "kind": "mix-zone",
+            "radius_m": float(zone.radius_m),
+            "t_start": float(zone.t_start),
+            "t_end": float(zone.t_end),
+            "participants": sorted(zone.participants),
+        },
+    }
+
+
+def dataset_to_feature_collection(
+    dataset: MobilityDataset, zones: Iterable[MixZone] = ()
+) -> Dict:
+    """A GeoJSON ``FeatureCollection`` with every trajectory and mix-zone."""
+    features: List[Dict] = [trajectory_to_feature(t) for t in dataset]
+    features.extend(mixzone_to_feature(z) for z in zones)
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(
+    path: str | Path, dataset: MobilityDataset, zones: Iterable[MixZone] = ()
+) -> None:
+    """Write a dataset (and optional mix-zones) to a GeoJSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    collection = dataset_to_feature_collection(dataset, zones)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(collection, handle, indent=2)

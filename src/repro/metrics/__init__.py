@@ -1,0 +1,41 @@
+"""Utility and privacy metrics used by the evaluation."""
+
+from .privacy import (
+    PoiRetrievalScore,
+    empirical_mixing_entropy_bits,
+    majority_owner,
+    poi_retrieval_per_user,
+    poi_retrieval_pooled,
+    reidentification_truth,
+    tracking_success,
+    zone_link_truth,
+)
+from .utility import (
+    CoverageScore,
+    DistortionSummary,
+    area_coverage,
+    dataset_spatial_distortion,
+    point_retention,
+    range_query_distortion,
+    trajectory_spatial_distortion,
+    trip_length_error,
+)
+
+__all__ = [
+    "PoiRetrievalScore",
+    "poi_retrieval_pooled",
+    "poi_retrieval_per_user",
+    "majority_owner",
+    "reidentification_truth",
+    "zone_link_truth",
+    "tracking_success",
+    "empirical_mixing_entropy_bits",
+    "DistortionSummary",
+    "trajectory_spatial_distortion",
+    "dataset_spatial_distortion",
+    "CoverageScore",
+    "area_coverage",
+    "trip_length_error",
+    "range_query_distortion",
+    "point_retention",
+]

@@ -1,0 +1,27 @@
+"""Mix-zone detection and trajectory swapping (second mechanism of the paper)."""
+
+from .detection import CrossingEvent, MixZoneDetectionConfig, MixZoneDetector, detect_mix_zones
+from .swapping import (
+    MixZoneSwapper,
+    SwapConfig,
+    SwapPolicy,
+    SwapRecord,
+    SwapResult,
+    swap_dataset,
+)
+from .zones import MixZone, permutation_entropy_bits
+
+__all__ = [
+    "MixZone",
+    "permutation_entropy_bits",
+    "CrossingEvent",
+    "MixZoneDetectionConfig",
+    "MixZoneDetector",
+    "detect_mix_zones",
+    "MixZoneSwapper",
+    "SwapConfig",
+    "SwapPolicy",
+    "SwapRecord",
+    "SwapResult",
+    "swap_dataset",
+]

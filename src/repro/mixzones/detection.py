@@ -1,0 +1,275 @@
+"""Detection of natural mix-zones (path crossings) in a mobility dataset.
+
+The paper's second mechanism relies on places where users *naturally* meet:
+"users continuously meet other users in public transportations, malls, work
+places, etc."  This module finds those meetings without any external map data,
+directly from the co-location structure of the dataset:
+
+1. **Candidate co-locations.**  Every fix is hashed into a coarse spatial grid
+   (cell size = zone radius) and a time bucket (bucket size = the temporal
+   tolerance).  Two fixes of *different* users that fall in the same or
+   adjacent cells and in the same or adjacent time buckets are candidate
+   co-locations; exact distance and time tests confirm them.  This keeps the
+   complexity near-linear in the number of points instead of quadratic in the
+   number of users.
+2. **Crossing events.**  Each confirmed co-location produces a crossing event
+   (midpoint position, midpoint time, the two users involved).
+3. **Zone clustering.**  Crossing events that are close in space (within one
+   zone diameter) and time (within ``merge_gap_s``) are merged with a
+   union-find pass; each resulting cluster becomes one :class:`MixZone` whose
+   center is the centroid of its events, whose temporal window spans its
+   events padded by the tolerance, and whose participants are every user
+   involved in any of its events.
+
+Zones with fewer than ``min_users`` participants are dropped (a single user
+cannot be mixed with anyone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.trajectory import MobilityDataset
+from ..geo.distance import haversine, meters_per_degree
+from .zones import MixZone
+
+__all__ = ["MixZoneDetectionConfig", "MixZoneDetector", "CrossingEvent", "detect_mix_zones"]
+
+
+@dataclass(frozen=True)
+class CrossingEvent:
+    """A confirmed spatio-temporal co-location between two users."""
+
+    lat: float
+    lon: float
+    timestamp: float
+    user_a: str
+    user_b: str
+
+
+@dataclass(frozen=True)
+class MixZoneDetectionConfig:
+    """Parameters controlling the search for natural mix-zones.
+
+    Attributes
+    ----------
+    radius_m:
+        Radius of the produced mix-zones, and the maximum distance between two
+        users for their fixes to count as a co-location.
+    max_time_gap_s:
+        Maximum difference between the timestamps of two fixes for them to
+        count as a co-location (users need not be sampled synchronously).
+    merge_gap_s:
+        Two crossing events closer than ``2 * radius_m`` in space and
+        ``merge_gap_s`` in time are merged into the same zone.
+    min_users:
+        Minimum number of distinct participants for a zone to be kept.
+    """
+
+    radius_m: float = 100.0
+    max_time_gap_s: float = 120.0
+    merge_gap_s: float = 600.0
+    min_users: int = 2
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ValueError(f"radius_m must be positive, got {self.radius_m}")
+        if self.max_time_gap_s <= 0.0:
+            raise ValueError(f"max_time_gap_s must be positive, got {self.max_time_gap_s}")
+        if self.merge_gap_s < 0.0:
+            raise ValueError(f"merge_gap_s must be non-negative, got {self.merge_gap_s}")
+        if self.min_users < 2:
+            raise ValueError(f"min_users must be at least 2, got {self.min_users}")
+
+
+class _UnionFind:
+    """Minimal union-find used to cluster crossing events into zones."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[rj] = ri
+
+
+class MixZoneDetector:
+    """Finds natural mix-zones in a :class:`MobilityDataset`."""
+
+    def __init__(self, config: MixZoneDetectionConfig | None = None) -> None:
+        self.config = config or MixZoneDetectionConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def detect(self, dataset: MobilityDataset) -> List[MixZone]:
+        """Return the mix-zones of ``dataset``, ordered chronologically."""
+        events = self.find_crossings(dataset)
+        zones = self._cluster_events(events)
+        zones = [z for z in zones if z.n_participants >= self.config.min_users]
+        return sorted(zones, key=lambda z: z.midpoint_time)
+
+    def find_crossings(self, dataset: MobilityDataset) -> List[CrossingEvent]:
+        """Return every confirmed pairwise co-location of the dataset."""
+        cfg = self.config
+        non_empty = [t for t in dataset if len(t) > 0]
+        if len(non_empty) < 2:
+            return []
+
+        # Flatten the dataset into parallel arrays for fast binning.
+        user_of: List[str] = []
+        lats_list, lons_list, ts_list = [], [], []
+        for traj in non_empty:
+            user_of.extend([traj.user_id] * len(traj))
+            lats_list.append(np.asarray(traj.lats))
+            lons_list.append(np.asarray(traj.lons))
+            ts_list.append(np.asarray(traj.timestamps))
+        lats = np.concatenate(lats_list)
+        lons = np.concatenate(lons_list)
+        ts = np.concatenate(ts_list)
+
+        # Bin every fix into a (cell_row, cell_col, time_bucket) key.
+        ref_lat = float(np.mean(lats))
+        lat_m, lon_m = meters_per_degree(ref_lat)
+        lat_step = cfg.radius_m / lat_m
+        lon_step = cfg.radius_m / lon_m
+        rows = np.floor((lats - lats.min()) / lat_step).astype(np.int64)
+        cols = np.floor((lons - lons.min()) / lon_step).astype(np.int64)
+        buckets = np.floor((ts - ts.min()) / cfg.max_time_gap_s).astype(np.int64)
+
+        bins: Dict[Tuple[int, int, int], List[int]] = {}
+        for idx in range(lats.size):
+            bins.setdefault((int(rows[idx]), int(cols[idx]), int(buckets[idx])), []).append(idx)
+
+        events: List[CrossingEvent] = []
+        seen_pairs: set = set()
+        for (row, col, bucket), members in bins.items():
+            # Gather this bin plus spatially and temporally adjacent bins so
+            # that co-locations straddling a bin boundary are not missed.
+            candidates = list(members)
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    for db in (-1, 0, 1):
+                        if dr == dc == db == 0:
+                            continue
+                        other = bins.get((row + dr, col + dc, bucket + db))
+                        if other:
+                            candidates.extend(other)
+            if len(candidates) < 2:
+                continue
+            events.extend(self._confirm_pairs(members, candidates, user_of, lats, lons, ts, seen_pairs))
+        return events
+
+    # -- internals --------------------------------------------------------------
+
+    def _confirm_pairs(
+        self,
+        members: Sequence[int],
+        candidates: Sequence[int],
+        user_of: Sequence[str],
+        lats: np.ndarray,
+        lons: np.ndarray,
+        ts: np.ndarray,
+        seen_pairs: set,
+    ) -> List[CrossingEvent]:
+        """Exact distance/time confirmation of candidate co-locations.
+
+        To bound the number of produced events, at most one event is kept per
+        (user_a, user_b, time bucket) triple; ``seen_pairs`` carries that
+        dedup state across bins.
+        """
+        cfg = self.config
+        events: List[CrossingEvent] = []
+        for i in members:
+            for j in candidates:
+                if j <= i:
+                    continue
+                ua, ub = user_of[i], user_of[j]
+                if ua == ub:
+                    continue
+                dt = abs(float(ts[i] - ts[j]))
+                if dt > cfg.max_time_gap_s:
+                    continue
+                pair_key = (
+                    min(ua, ub),
+                    max(ua, ub),
+                    int(min(ts[i], ts[j]) // max(cfg.merge_gap_s, 1.0)),
+                )
+                if pair_key in seen_pairs:
+                    continue
+                dist = haversine(float(lats[i]), float(lons[i]), float(lats[j]), float(lons[j]))
+                if dist > cfg.radius_m:
+                    continue
+                seen_pairs.add(pair_key)
+                events.append(
+                    CrossingEvent(
+                        lat=float((lats[i] + lats[j]) / 2.0),
+                        lon=float((lons[i] + lons[j]) / 2.0),
+                        timestamp=float((ts[i] + ts[j]) / 2.0),
+                        user_a=ua,
+                        user_b=ub,
+                    )
+                )
+        return events
+
+    def _cluster_events(self, events: List[CrossingEvent]) -> List[MixZone]:
+        """Merge crossing events into mix-zones with a union-find pass."""
+        cfg = self.config
+        if not events:
+            return []
+        events = sorted(events, key=lambda e: e.timestamp)
+        uf = _UnionFind(len(events))
+        # Events are time-sorted, so only a sliding window needs to be checked.
+        for i in range(len(events)):
+            for j in range(i + 1, len(events)):
+                if events[j].timestamp - events[i].timestamp > cfg.merge_gap_s:
+                    break
+                d = haversine(events[i].lat, events[i].lon, events[j].lat, events[j].lon)
+                if d <= 2.0 * cfg.radius_m:
+                    uf.union(i, j)
+
+        clusters: Dict[int, List[CrossingEvent]] = {}
+        for idx, event in enumerate(events):
+            clusters.setdefault(uf.find(idx), []).append(event)
+
+        zones: List[MixZone] = []
+        for cluster in clusters.values():
+            lats = np.array([e.lat for e in cluster])
+            lons = np.array([e.lon for e in cluster])
+            times = np.array([e.timestamp for e in cluster])
+            participants = frozenset(
+                user for e in cluster for user in (e.user_a, e.user_b)
+            )
+            zones.append(
+                MixZone(
+                    center_lat=float(lats.mean()),
+                    center_lon=float(lons.mean()),
+                    radius_m=cfg.radius_m,
+                    t_start=float(times.min() - cfg.max_time_gap_s),
+                    t_end=float(times.max() + cfg.max_time_gap_s),
+                    participants=participants,
+                )
+            )
+        return zones
+
+
+def detect_mix_zones(
+    dataset: MobilityDataset,
+    radius_m: float = 100.0,
+    max_time_gap_s: float = 120.0,
+    **kwargs,
+) -> List[MixZone]:
+    """Convenience wrapper around :class:`MixZoneDetector`."""
+    config = MixZoneDetectionConfig(radius_m=radius_m, max_time_gap_s=max_time_gap_s, **kwargs)
+    return MixZoneDetector(config).detect(dataset)

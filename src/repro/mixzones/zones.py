@@ -1,0 +1,139 @@
+"""Mix-zone model.
+
+A *mix-zone* (Beresford & Stajano) is a well-delimited spatio-temporal region
+in which nobody is tracked: the points falling inside the zone are suppressed
+from the published data, and the identifiers of users traversing the zone may
+be shuffled when they leave it.  The paper exploits *natural* mix-zones —
+places where users actually meet (public transport, malls, shared roads) —
+instead of artificially distorting the traces to force encounters.
+
+This module defines the :class:`MixZone` value object and a few geometric /
+information-theoretic helpers.  Detection of natural zones lives in
+:mod:`repro.mixzones.detection` and identifier shuffling in
+:mod:`repro.mixzones.swapping`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from ..geo.distance import haversine, haversine_array
+from ..core.trajectory import Trajectory
+
+__all__ = ["MixZone", "permutation_entropy_bits"]
+
+
+@dataclass(frozen=True)
+class MixZone:
+    """A circular spatio-temporal region where user identities can be mixed.
+
+    Attributes
+    ----------
+    center_lat, center_lon:
+        Geographic center of the zone.
+    radius_m:
+        Radius of the zone in meters.
+    t_start, t_end:
+        Temporal extent (POSIX seconds) during which the zone is active.
+    participants:
+        Identifiers of the users that traverse the zone during its activity
+        window.  A valid mix-zone has at least two participants; zones with a
+        single participant provide no mixing and are discarded by detection.
+    """
+
+    center_lat: float
+    center_lon: float
+    radius_m: float
+    t_start: float
+    t_end: float
+    participants: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ValueError(f"mix-zone radius must be positive, got {self.radius_m}")
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"mix-zone ends ({self.t_end}) before it starts ({self.t_start})"
+            )
+
+    # -- membership tests -----------------------------------------------------
+
+    def contains_point(self, lat: float, lon: float, timestamp: float) -> bool:
+        """True when a fix falls inside the zone both spatially and temporally."""
+        if not (self.t_start <= timestamp <= self.t_end):
+            return False
+        return haversine(lat, lon, self.center_lat, self.center_lon) <= self.radius_m
+
+    def mask_of(self, trajectory: Trajectory) -> np.ndarray:
+        """Boolean mask of the fixes of ``trajectory`` that fall inside the zone."""
+        if len(trajectory) == 0:
+            return np.zeros(0, dtype=bool)
+        ts = np.asarray(trajectory.timestamps)
+        in_time = (ts >= self.t_start) & (ts <= self.t_end)
+        if not np.any(in_time):
+            return np.zeros(len(trajectory), dtype=bool)
+        dist = haversine_array(
+            np.asarray(trajectory.lats),
+            np.asarray(trajectory.lons),
+            self.center_lat,
+            self.center_lon,
+        )
+        return in_time & (dist <= self.radius_m)
+
+    def crosses(self, trajectory: Trajectory) -> bool:
+        """True when the trajectory has at least one fix inside the zone."""
+        return bool(np.any(self.mask_of(trajectory)))
+
+    # -- descriptive properties -------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Temporal extent of the zone in seconds."""
+        return self.t_end - self.t_start
+
+    @property
+    def n_participants(self) -> int:
+        """Number of users traversing the zone."""
+        return len(self.participants)
+
+    @property
+    def midpoint_time(self) -> float:
+        """Middle of the activity window (used to order zones chronologically)."""
+        return (self.t_start + self.t_end) / 2.0
+
+    def with_participants(self, participants: Iterable[str]) -> "MixZone":
+        """Copy of the zone with a different participant set."""
+        return MixZone(
+            self.center_lat,
+            self.center_lon,
+            self.radius_m,
+            self.t_start,
+            self.t_end,
+            frozenset(participants),
+        )
+
+    def anonymity_set_entropy_bits(self) -> float:
+        """Upper bound on the mixing entropy of the zone, in bits.
+
+        With ``k`` indistinguishable participants the attacker faces ``k!``
+        possible exit assignments, i.e. ``log2(k!)`` bits of uncertainty.  Real
+        attackers exploit timing side channels, so the *effective* entropy
+        measured by :mod:`repro.metrics.privacy` is usually lower; this value
+        is the information-theoretic ceiling.
+        """
+        return permutation_entropy_bits(self.n_participants)
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        """Compact numeric representation ``(lat, lon, radius, t_start, t_end)``."""
+        return (self.center_lat, self.center_lon, self.radius_m, self.t_start, self.t_end)
+
+
+def permutation_entropy_bits(k: int) -> float:
+    """``log2(k!)`` — entropy of a uniformly random permutation of ``k`` items."""
+    if k <= 1:
+        return 0.0
+    return float(sum(math.log2(i) for i in range(2, k + 1)))

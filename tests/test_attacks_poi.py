@@ -1,0 +1,120 @@
+"""Tests for the POI-extraction (stay-point) and DJ-Cluster attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.djcluster import DjCluster, DjClusterConfig, dj_cluster
+from repro.attacks.poi_extraction import (
+    PoiExtractionConfig,
+    PoiExtractor,
+    extract_pois,
+)
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.geo.distance import haversine
+
+from .conftest import LYON_LAT, LYON_LON, make_line_trajectory, make_stop_and_go_trajectory
+
+
+class TestConfigs:
+    def test_staypoint_config_validation(self):
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(max_diameter_m=0.0)
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(min_duration_s=0.0)
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(merge_distance_m=-1.0)
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(max_gap_s=0.0)
+
+    def test_djcluster_config_validation(self):
+        with pytest.raises(ValueError):
+            DjClusterConfig(eps_m=0.0)
+        with pytest.raises(ValueError):
+            DjClusterConfig(min_points=1)
+        with pytest.raises(ValueError):
+            DjClusterConfig(max_stationary_speed_mps=0.0)
+
+
+class TestStayPointExtraction:
+    def test_finds_the_stop(self, stop_and_go_trajectory):
+        pois = extract_pois(stop_and_go_trajectory)
+        assert len(pois) == 1
+        poi = pois[0]
+        assert poi.user_id == stop_and_go_trajectory.user_id
+        assert poi.duration >= 900.0
+        assert poi.n_points > 10
+        # The stop happens 3 km east of the start.
+        expected_lat, expected_lon = stop_and_go_trajectory[60].lat, stop_and_go_trajectory[60].lon
+        assert poi.distance_to(expected_lat, expected_lon) < 100.0
+
+    def test_moving_trajectory_yields_nothing(self, line_trajectory):
+        assert extract_pois(line_trajectory) == []
+
+    def test_empty_trajectory(self):
+        assert PoiExtractor().extract(Trajectory.empty("u")) == []
+
+    def test_short_stop_below_threshold_ignored(self):
+        traj = make_stop_and_go_trajectory(stop_minutes=10.0)
+        assert extract_pois(traj, min_duration_s=900.0) == []
+        assert len(extract_pois(traj, min_duration_s=300.0)) == 1
+
+    def test_recording_gap_not_counted_as_stay(self):
+        """Two fixes at the same place hours apart must not be a stay by themselves."""
+        traj = Trajectory(
+            "u",
+            [0.0, 30.0, 60.0, 20_000.0, 20_030.0],
+            [LYON_LAT] * 5,
+            [LYON_LON, LYON_LON, LYON_LON, LYON_LON, LYON_LON],
+        )
+        assert extract_pois(traj) == []
+
+    def test_repeated_visits_merged(self):
+        """Two separate stays at the same place merge into one POI."""
+        first = make_stop_and_go_trajectory(start_time=0.0)
+        second = make_stop_and_go_trajectory(start_time=100_000.0)
+        traj = first.append(second)
+        pois = PoiExtractor(PoiExtractionConfig(merge_distance_m=150.0)).extract(traj)
+        assert len(pois) == 1
+        unmerged = PoiExtractor(PoiExtractionConfig(merge_distance_m=0.0)).extract(traj)
+        assert len(unmerged) == 2
+
+    def test_extract_dataset_keys_by_user(self, small_world):
+        extractor = PoiExtractor()
+        per_user = extractor.extract_dataset(small_world.dataset)
+        assert set(per_user) == set(small_world.dataset.user_ids)
+        assert all(isinstance(v, list) for v in per_user.values())
+
+    def test_finds_ground_truth_pois_on_raw_world(self, small_world):
+        """On raw synthetic data, the attack recovers the users' home POIs."""
+        extractor = PoiExtractor()
+        for profile in small_world.profiles[:4]:
+            pois = extractor.extract(small_world.dataset[profile.user_id])
+            home = profile.home
+            assert any(
+                haversine(p.lat, p.lon, home.lat, home.lon) < 250.0 for p in pois
+            ), f"home POI of {profile.user_id} not found"
+
+
+class TestDjCluster:
+    def test_finds_the_stop(self, stop_and_go_trajectory):
+        pois = dj_cluster(stop_and_go_trajectory)
+        assert len(pois) >= 1
+        expected_lat, expected_lon = stop_and_go_trajectory[60].lat, stop_and_go_trajectory[60].lon
+        assert any(haversine(p.lat, p.lon, expected_lat, expected_lon) < 150.0 for p in pois)
+
+    def test_fast_moving_trajectory_yields_nothing(self):
+        fast = make_line_trajectory(n_points=100, spacing_m=100.0, interval_s=10.0)
+        assert dj_cluster(fast) == []
+
+    def test_short_trajectory_yields_nothing(self):
+        traj = make_line_trajectory(n_points=5)
+        assert DjCluster().extract(traj) == []
+
+    def test_extract_dataset(self, small_world):
+        per_user = DjCluster().extract_dataset(small_world.dataset)
+        assert set(per_user) == set(small_world.dataset.user_ids)
+        # Raw data contains plenty of stationary density: most users leak POIs.
+        users_with_pois = sum(1 for v in per_user.values() if v)
+        assert users_with_pois >= len(per_user) // 2

@@ -1,0 +1,91 @@
+"""Tests for the synthetic city generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.city import City, CityConfig, POICategory
+from repro.geo.distance import haversine
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CityConfig(size_m=0.0)
+        with pytest.raises(ValueError):
+            CityConfig(street_spacing_m=0.0)
+        with pytest.raises(ValueError):
+            CityConfig(street_spacing_m=20_000.0, size_m=8_000.0)
+        with pytest.raises(ValueError):
+            CityConfig(n_homes=0)
+
+
+class TestGeneration:
+    def test_poi_counts_match_config(self):
+        config = CityConfig(n_homes=10, n_workplaces=4, n_leisure=6, n_transit_hubs=2)
+        city = City.generate(config, seed=0)
+        assert len(city.pois_of(POICategory.HOME)) == 10
+        assert len(city.pois_of(POICategory.WORK)) == 4
+        assert len(city.pois_of(POICategory.LEISURE)) == 6
+        assert len(city.pois_of(POICategory.TRANSIT)) == 2
+        assert len(city.pois) == 22
+
+    def test_pois_inside_city_area(self):
+        config = CityConfig(size_m=4_000.0)
+        city = City.generate(config, seed=1)
+        for poi in city.pois:
+            d = haversine(poi.lat, poi.lon, config.center_lat, config.center_lon)
+            # Half-diagonal of a 4 km square is about 2.83 km.
+            assert d <= 3_000.0
+
+    def test_deterministic_given_seed(self):
+        a = City.generate(seed=7)
+        b = City.generate(seed=7)
+        assert [(p.poi_id, p.lat, p.lon) for p in a.pois] == [(p.poi_id, p.lat, p.lon) for p in b.pois]
+
+    def test_poi_lookup(self):
+        city = City.generate(seed=0)
+        poi = city.pois[0]
+        assert city.poi_by_id(poi.poi_id) == poi
+        with pytest.raises(KeyError):
+            city.poi_by_id("does-not-exist")
+
+    def test_bbox_contains_all_pois(self):
+        city = City.generate(seed=0)
+        box = city.bbox
+        assert all(box.contains(p.lat, p.lon) for p in city.pois)
+
+
+class TestRouting:
+    def test_route_starts_and_ends_at_the_pois(self):
+        city = City.generate(seed=0)
+        homes = city.pois_of(POICategory.HOME)
+        works = city.pois_of(POICategory.WORK)
+        route = city.route(homes[0], works[0])
+        assert route[0] == (homes[0].lat, homes[0].lon)
+        assert route[-1] == (works[0].lat, works[0].lon)
+
+    def test_route_has_no_zero_length_legs(self):
+        city = City.generate(seed=0)
+        homes = city.pois_of(POICategory.HOME)
+        works = city.pois_of(POICategory.WORK)
+        route = city.route(homes[1], works[0], via_transit=True)
+        for a, b in zip(route[:-1], route[1:]):
+            assert haversine(a[0], a[1], b[0], b[1]) > 1.0
+
+    def test_transit_route_passes_near_a_hub(self):
+        city = City.generate(seed=0)
+        homes = city.pois_of(POICategory.HOME)
+        works = city.pois_of(POICategory.WORK)
+        hubs = city.pois_of(POICategory.TRANSIT)
+        route = city.route(homes[0], works[0], via_transit=True)
+        hub_hit = any(
+            any(haversine(lat, lon, hub.lat, hub.lon) < 10.0 for lat, lon in route) for hub in hubs
+        )
+        assert hub_hit
+
+    def test_route_to_itself(self):
+        city = City.generate(seed=0)
+        poi = city.pois[0]
+        route = city.route(poi, poi)
+        assert len(route) >= 1

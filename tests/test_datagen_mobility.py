@@ -1,0 +1,114 @@
+"""Tests for the trace simulator and world generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.poi_extraction import PoiExtractor
+from repro.datagen.mobility import SimulationConfig, generate_world
+from repro.datagen.noise import GpsNoiseConfig, GpsNoiseModel
+from repro.geo.distance import haversine
+
+from .conftest import make_line_trajectory
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sampling_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(walking_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(driver_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(stationary_jitter_m=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_stop_recording_s=0.0)
+
+
+class TestGpsNoise:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GpsNoiseConfig(horizontal_error_m=-1.0)
+        with pytest.raises(ValueError):
+            GpsNoiseConfig(dropout_probability=1.0)
+
+    def test_noise_displaces_points_by_roughly_sigma(self):
+        traj = make_line_trajectory(n_points=2000)
+        noisy = GpsNoiseModel(GpsNoiseConfig(horizontal_error_m=10.0, dropout_probability=0.0, seed=0)).apply(traj)
+        displacements = [
+            haversine(a.lat, a.lon, b.lat, b.lon) for a, b in zip(traj, noisy)
+        ]
+        # Mean displacement of an isotropic 2D Gaussian is sigma * sqrt(pi/2).
+        assert np.mean(displacements) == pytest.approx(10.0 * np.sqrt(np.pi / 2.0), rel=0.1)
+
+    def test_dropout_removes_points_but_never_all(self):
+        traj = make_line_trajectory(n_points=200)
+        noisy = GpsNoiseModel(GpsNoiseConfig(horizontal_error_m=0.0, dropout_probability=0.5, seed=0)).apply(traj)
+        assert 0 < len(noisy) < len(traj)
+
+    def test_empty_passthrough(self):
+        from repro.core.trajectory import Trajectory
+
+        empty = Trajectory.empty("u")
+        assert GpsNoiseModel().apply(empty) is empty
+
+
+class TestWorldGeneration:
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            generate_world(n_users=0)
+        with pytest.raises(ValueError):
+            generate_world(n_users=1, n_days=0)
+
+    def test_world_structure(self, small_world):
+        assert len(small_world.profiles) == 12
+        assert len(small_world.dataset) == 12
+        assert small_world.dataset.n_points > 1000
+        assert len(small_world.schedules) == 12 * 3
+
+    def test_deterministic_given_seed(self):
+        a = generate_world(n_users=3, n_days=1, seed=9)
+        b = generate_world(n_users=3, n_days=1, seed=9)
+        assert a.dataset == b.dataset
+
+    def test_different_seeds_differ(self):
+        a = generate_world(n_users=3, n_days=1, seed=1)
+        b = generate_world(n_users=3, n_days=1, seed=2)
+        assert a.dataset != b.dataset
+
+    def test_users_visit_their_ground_truth_pois(self, small_world):
+        """The simulated trace actually passes through the scheduled POIs."""
+        for profile in small_world.profiles[:3]:
+            traj = small_world.dataset[profile.user_id]
+            lats = np.asarray(traj.lats)
+            lons = np.asarray(traj.lons)
+            for poi in (profile.home, profile.work):
+                min_distance = np.min(
+                    [haversine(poi.lat, poi.lon, la, lo) for la, lo in zip(lats, lons)]
+                )
+                assert min_distance < 100.0
+
+    def test_true_pois_respect_min_stay(self, small_world):
+        user = small_world.profiles[0].user_id
+        long_stays = small_world.true_pois_of(user, min_stay_s=900.0)
+        very_long_stays = small_world.true_pois_of(user, min_stay_s=6 * 3600.0)
+        assert len(very_long_stays) <= len(long_stays)
+        assert long_stays, "a weekday routine always contains at least one long stop"
+
+    def test_timestamps_strictly_inside_simulated_days(self, small_world):
+        t_min, t_max = small_world.dataset.time_span
+        assert t_max - t_min <= 3 * 86_400.0
+
+    def test_stop_recording_gap_created_for_long_stays(self, small_world):
+        """Long stops leave a sampling gap (device sleeping indoors)."""
+        user = small_world.profiles[0].user_id
+        gaps = small_world.dataset[user].sampling_intervals()
+        assert np.max(gaps) > 3600.0
+
+    def test_raw_data_is_attackable(self, small_world):
+        """Sanity: the workload exposes POIs before any protection is applied."""
+        extractor = PoiExtractor()
+        pois = extractor.extract(small_world.dataset[small_world.profiles[0].user_id])
+        assert len(pois) >= 2

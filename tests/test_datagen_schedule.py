@@ -1,0 +1,105 @@
+"""Tests for the schedule generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.city import City, POICategory
+from repro.datagen.schedule import (
+    DailySchedule,
+    ScheduleConfig,
+    ScheduleGenerator,
+    Visit,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City.generate(seed=0)
+
+
+@pytest.fixture(scope="module")
+def generator(city):
+    return ScheduleGenerator(city, seed=1)
+
+
+class TestDataclasses:
+    def test_visit_validation(self, city):
+        poi = city.pois[0]
+        with pytest.raises(ValueError):
+            Visit(poi, 100.0, 50.0)
+        visit = Visit(poi, 0.0, 600.0)
+        assert visit.duration == 600.0
+
+    def test_schedule_requires_ordered_visits(self, city):
+        poi = city.pois[0]
+        with pytest.raises(ValueError):
+            DailySchedule("u", 0, [Visit(poi, 100.0, 200.0), Visit(poi, 0.0, 50.0)])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(lunch_probability=1.5)
+        with pytest.raises(ValueError):
+            ScheduleConfig(n_favourite_leisure=0)
+
+
+class TestProfiles:
+    def test_profiles_have_required_anchors(self, generator):
+        profiles = generator.make_profiles(10)
+        assert len(profiles) == 10
+        assert len({p.user_id for p in profiles}) == 10
+        for profile in profiles:
+            assert profile.home.category is POICategory.HOME
+            assert profile.work.category is POICategory.WORK
+            assert profile.favourite_leisure
+            assert all(p.category is POICategory.LEISURE for p in profile.favourite_leisure)
+
+    def test_distinct_homes_while_available(self, generator):
+        profiles = generator.make_profiles(10)
+        homes = [p.home.poi_id for p in profiles]
+        assert len(set(homes)) == 10
+
+    def test_city_without_leisure_rejected(self):
+        config_city = City.generate(seed=0)
+        # Build a crippled city with no leisure POIs.
+        crippled = City(config_city.config, [p for p in config_city.pois if p.category is not POICategory.LEISURE])
+        with pytest.raises(ValueError):
+            ScheduleGenerator(crippled).make_profiles(2)
+
+
+class TestSchedules:
+    def test_weekday_starts_and_ends_at_home(self, generator):
+        profiles = generator.make_profiles(3)
+        schedule = generator.make_schedule(profiles[0], day_index=0)
+        assert schedule.visits[0].poi == profiles[0].home
+        assert schedule.visits[-1].poi == profiles[0].home
+        assert any(v.poi == profiles[0].work for v in schedule.visits)
+
+    def test_weekend_has_no_work(self, generator):
+        profiles = generator.make_profiles(3)
+        schedule = generator.make_schedule(profiles[0], day_index=5)
+        assert all(v.poi.category is not POICategory.WORK for v in schedule.visits)
+
+    def test_visits_are_ordered_and_inside_the_day(self, generator):
+        profiles = generator.make_profiles(5)
+        for day in range(7):
+            schedule = generator.make_schedule(profiles[1], day_index=day, epoch=1_000_000.0)
+            day_start = 1_000_000.0 + day * 86_400.0
+            arrivals = [v.arrival for v in schedule.visits]
+            assert arrivals == sorted(arrivals)
+            assert schedule.visits[0].arrival >= day_start
+            assert schedule.visits[-1].departure <= day_start + 86_400.0
+
+    def test_make_schedules_covers_all_users_and_days(self, generator):
+        profiles = generator.make_profiles(4)
+        schedules = generator.make_schedules(profiles, n_days=3)
+        assert len(schedules) == 12
+        assert {(s.user_id, s.day_index) for s in schedules} == {
+            (p.user_id, d) for p in profiles for d in range(3)
+        }
+
+    def test_work_stay_long_enough_to_be_a_poi(self, generator):
+        profiles = generator.make_profiles(3)
+        schedule = generator.make_schedule(profiles[2], day_index=1)
+        work_time = sum(v.duration for v in schedule.visits if v.poi.category is POICategory.WORK)
+        assert work_time >= 4 * 3600.0

@@ -1,0 +1,129 @@
+"""Tests for repro.geo.distance."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import (
+    EARTH_RADIUS_METERS,
+    destination_point,
+    equirectangular,
+    equirectangular_array,
+    haversine,
+    haversine_array,
+    initial_bearing,
+    meters_per_degree,
+    pairwise_haversine,
+)
+
+# Strategies constrained away from the poles / antimeridian where the planar
+# approximations legitimately break down.
+lat_strategy = st.floats(min_value=-75.0, max_value=75.0, allow_nan=False)
+lon_strategy = st.floats(min_value=-170.0, max_value=170.0, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_for_identical_points(self):
+        assert haversine(45.0, 4.8, 45.0, 4.8) == 0.0
+
+    def test_known_distance_paris_lyon(self):
+        # Paris (48.8566, 2.3522) to Lyon (45.7640, 4.8357) is about 392 km.
+        d = haversine(48.8566, 2.3522, 45.7640, 4.8357)
+        assert d == pytest.approx(392_000, rel=0.02)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        d = haversine(45.0, 4.0, 46.0, 4.0)
+        assert d == pytest.approx(111_195, rel=0.001)
+
+    def test_symmetry(self):
+        assert haversine(45.0, 4.0, 46.0, 5.0) == pytest.approx(haversine(46.0, 5.0, 45.0, 4.0))
+
+    @given(lat1=lat_strategy, lon1=lon_strategy, lat2=lat_strategy, lon2=lon_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_and_symmetric(self, lat1, lon1, lat2, lon2):
+        d1 = haversine(lat1, lon1, lat2, lon2)
+        d2 = haversine(lat2, lon2, lat1, lon1)
+        assert d1 >= 0.0
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-6)
+
+    @given(lat1=lat_strategy, lon1=lon_strategy, lat2=lat_strategy, lon2=lon_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine(lat1, lon1, lat2, lon2)
+        assert d <= math.pi * EARTH_RADIUS_METERS + 1.0
+
+    def test_array_matches_scalar(self):
+        lats1 = np.array([45.0, 46.0, 47.0])
+        lons1 = np.array([4.0, 5.0, 6.0])
+        lats2 = np.array([45.5, 46.5, 47.5])
+        lons2 = np.array([4.5, 5.5, 6.5])
+        expected = [haversine(a, b, c, d) for a, b, c, d in zip(lats1, lons1, lats2, lons2)]
+        np.testing.assert_allclose(haversine_array(lats1, lons1, lats2, lons2), expected)
+
+
+class TestEquirectangular:
+    @given(
+        lat=st.floats(min_value=-60.0, max_value=60.0),
+        lon=st.floats(min_value=-170.0, max_value=170.0),
+        dlat=st.floats(min_value=-0.02, max_value=0.02),
+        dlon=st.floats(min_value=-0.02, max_value=0.02),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_haversine_at_short_range(self, lat, lon, dlat, dlon):
+        exact = haversine(lat, lon, lat + dlat, lon + dlon)
+        approx = equirectangular(lat, lon, lat + dlat, lon + dlon)
+        assert approx == pytest.approx(exact, rel=1e-3, abs=0.5)
+
+    def test_array_matches_scalar(self):
+        d = equirectangular_array(np.array([45.0]), np.array([4.0]), np.array([45.01]), np.array([4.01]))
+        assert d[0] == pytest.approx(equirectangular(45.0, 4.0, 45.01, 4.01))
+
+
+class TestPairwise:
+    def test_matrix_shape_symmetry_and_zero_diagonal(self):
+        lats = np.array([45.0, 45.1, 45.2, 45.3])
+        lons = np.array([4.0, 4.1, 4.2, 4.3])
+        m = pairwise_haversine(lats, lons)
+        assert m.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-6)
+        np.testing.assert_allclose(m, m.T)
+
+
+class TestDestinationPoint:
+    def test_north_one_km(self):
+        lat, lon = destination_point(45.0, 4.0, 0.0, 1000.0)
+        assert lat > 45.0
+        assert lon == pytest.approx(4.0, abs=1e-9)
+        assert haversine(45.0, 4.0, lat, lon) == pytest.approx(1000.0, rel=1e-6)
+
+    @given(
+        lat=st.floats(min_value=-70.0, max_value=70.0),
+        lon=st.floats(min_value=-170.0, max_value=170.0),
+        bearing=st.floats(min_value=0.0, max_value=360.0),
+        distance=st.floats(min_value=1.0, max_value=50_000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_distance(self, lat, lon, bearing, distance):
+        lat2, lon2 = destination_point(lat, lon, bearing, distance)
+        assert haversine(lat, lon, lat2, lon2) == pytest.approx(distance, rel=1e-5, abs=0.01)
+
+    def test_bearing_recovered(self):
+        lat2, lon2 = destination_point(45.0, 4.0, 90.0, 5000.0)
+        assert initial_bearing(45.0, 4.0, lat2, lon2) == pytest.approx(90.0, abs=0.1)
+
+
+class TestMetersPerDegree:
+    def test_latitude_constant_everywhere(self):
+        lat_m_equator, _ = meters_per_degree(0.0)
+        lat_m_mid, _ = meters_per_degree(45.0)
+        assert lat_m_equator == pytest.approx(lat_m_mid)
+
+    def test_longitude_shrinks_with_latitude(self):
+        _, lon_equator = meters_per_degree(0.0)
+        _, lon_60 = meters_per_degree(60.0)
+        assert lon_60 == pytest.approx(lon_equator / 2.0, rel=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for repro.geo.grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geometry import BoundingBox
+from repro.geo.grid import Grid
+
+BOX = BoundingBox(45.0, 4.0, 45.1, 4.1)
+
+
+class TestGridConstruction:
+    def test_covering_counts_cells(self):
+        grid = Grid.covering(BOX, 1000.0)
+        # The box is roughly 11 km x 7.8 km, so expect 12 x 8-ish cells.
+        assert 8 <= grid.n_rows <= 14
+        assert 6 <= grid.n_cols <= 10
+        assert grid.n_cells == grid.n_rows * grid.n_cols
+
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            Grid.covering(BOX, 0.0)
+
+    def test_small_box_has_at_least_one_cell(self):
+        tiny = BoundingBox(45.0, 4.0, 45.0001, 4.0001)
+        grid = Grid.covering(tiny, 1000.0)
+        assert grid.n_rows == 1 and grid.n_cols == 1
+
+
+class TestCellMapping:
+    def test_southwest_corner_is_cell_zero(self):
+        grid = Grid.covering(BOX, 500.0)
+        assert grid.cell_of(45.0, 4.0) == (0, 0)
+
+    def test_points_outside_are_clamped(self):
+        grid = Grid.covering(BOX, 500.0)
+        assert grid.cell_of(44.0, 3.0) == (0, 0)
+        assert grid.cell_of(46.0, 5.0) == (grid.n_rows - 1, grid.n_cols - 1)
+
+    @given(
+        lat=st.floats(min_value=45.0, max_value=45.1),
+        lon=st.floats(min_value=4.0, max_value=4.1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cell_bounds_contain_their_points(self, lat, lon):
+        grid = Grid.covering(BOX, 300.0)
+        cell = grid.cell_of(lat, lon)
+        bounds = grid.cell_bounds(cell)
+        # Clamped points at the very edge may fall on the boundary.
+        assert bounds.min_lat - 1e-9 <= lat <= bounds.max_lat + 1e-9
+        assert bounds.min_lon - 1e-9 <= lon <= bounds.max_lon + 1e-9
+
+    def test_cells_of_matches_cell_of(self):
+        grid = Grid.covering(BOX, 400.0)
+        lats = np.linspace(45.0, 45.1, 25)
+        lons = np.linspace(4.0, 4.1, 25)
+        vectorised = grid.cells_of(lats, lons)
+        scalar = [grid.cell_of(lat, lon) for lat, lon in zip(lats, lons)]
+        assert vectorised == scalar
+
+    def test_cell_bounds_rejects_outside_cells(self):
+        grid = Grid.covering(BOX, 400.0)
+        with pytest.raises(ValueError):
+            grid.cell_bounds((grid.n_rows, 0))
+
+
+class TestCovers:
+    def test_cell_counts_sums_to_number_of_points(self):
+        grid = Grid.covering(BOX, 400.0)
+        lats = np.linspace(45.0, 45.1, 40)
+        lons = np.linspace(4.0, 4.1, 40)
+        counts = grid.cell_counts(lats, lons)
+        assert sum(counts.values()) == 40
+
+    def test_cell_cover_is_set_of_counts_keys(self):
+        grid = Grid.covering(BOX, 400.0)
+        lats = np.linspace(45.0, 45.1, 40)
+        lons = np.linspace(4.0, 4.1, 40)
+        assert grid.cell_cover(lats, lons) == set(grid.cell_counts(lats, lons))
+
+    def test_cover_similarity(self):
+        assert Grid.cover_similarity(set(), set()) == 1.0
+        assert Grid.cover_similarity({(0, 0)}, {(0, 0)}) == 1.0
+        assert Grid.cover_similarity({(0, 0)}, {(1, 1)}) == 0.0
+        assert Grid.cover_similarity({(0, 0), (0, 1)}, {(0, 0)}) == pytest.approx(0.5)
+
+
+class TestNeighbors:
+    def test_interior_cell_has_eight_neighbors(self):
+        grid = Grid.covering(BOX, 500.0)
+        cell = (1, 1)
+        assert len(grid.neighbors(cell)) == 8
+        assert len(grid.neighbors(cell, include_diagonal=False)) == 4
+
+    def test_corner_cell_has_three_neighbors(self):
+        grid = Grid.covering(BOX, 500.0)
+        assert len(grid.neighbors((0, 0))) == 3
+
+    def test_cell_center_inside_cell(self):
+        grid = Grid.covering(BOX, 500.0)
+        lat, lon = grid.cell_center((0, 0))
+        assert grid.cell_of(lat, lon) == (0, 0)

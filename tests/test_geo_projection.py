@@ -1,0 +1,70 @@
+"""Tests for repro.geo.projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine
+from repro.geo.projection import LocalProjection
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(45.0, 4.0)
+        assert proj.project(45.0, 4.0) == (0.0, 0.0)
+
+    def test_north_is_positive_y_east_is_positive_x(self):
+        proj = LocalProjection(45.0, 4.0)
+        x, y = proj.project(45.01, 4.0)
+        assert y > 0.0 and x == pytest.approx(0.0, abs=1e-9)
+        x, y = proj.project(45.0, 4.01)
+        assert x > 0.0 and y == pytest.approx(0.0, abs=1e-9)
+
+    def test_distances_preserved_locally(self):
+        proj = LocalProjection(45.0, 4.0)
+        x1, y1 = proj.project(45.001, 4.001)
+        x2, y2 = proj.project(45.003, 4.004)
+        planar = np.hypot(x2 - x1, y2 - y1)
+        geodesic = haversine(45.001, 4.001, 45.003, 4.004)
+        assert planar == pytest.approx(geodesic, rel=1e-3)
+
+    @given(
+        dlat=st.floats(min_value=-0.2, max_value=0.2),
+        dlon=st.floats(min_value=-0.2, max_value=0.2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, dlat, dlon):
+        proj = LocalProjection(45.0, 4.0)
+        lat, lon = 45.0 + dlat, 4.0 + dlon
+        x, y = proj.project(lat, lon)
+        lat2, lon2 = proj.unproject(x, y)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+        assert lon2 == pytest.approx(lon, abs=1e-9)
+
+    def test_array_round_trip(self):
+        proj = LocalProjection(45.0, 4.0)
+        lats = np.linspace(44.9, 45.1, 17)
+        lons = np.linspace(3.9, 4.1, 17)
+        xs, ys = proj.project_array(lats, lons)
+        back_lats, back_lons = proj.unproject_array(xs, ys)
+        np.testing.assert_allclose(back_lats, lats, atol=1e-9)
+        np.testing.assert_allclose(back_lons, lons, atol=1e-9)
+
+    def test_centered_on_centroid(self):
+        lats = np.array([45.0, 45.2])
+        lons = np.array([4.0, 4.4])
+        proj = LocalProjection.centered_on(lats, lons)
+        assert proj.origin_lat == pytest.approx(45.1)
+        assert proj.origin_lon == pytest.approx(4.2)
+
+    def test_centered_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            LocalProjection.centered_on(np.array([]), np.array([]))
+
+    def test_pole_does_not_divide_by_zero(self):
+        proj = LocalProjection(90.0, 0.0)
+        x, y = proj.project(89.9, 1.0)
+        assert np.isfinite(x) and np.isfinite(y)

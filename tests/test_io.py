@@ -1,0 +1,125 @@
+"""Tests for trace I/O: GeoLife PLT, CSV and GeoJSON."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.geojson import dataset_to_feature_collection, write_geojson
+from repro.io.geolife import (
+    read_geolife_directory,
+    read_plt_file,
+    write_geolife_directory,
+    write_plt_file,
+)
+from repro.mixzones.zones import MixZone
+
+from .conftest import make_line_trajectory
+
+
+@pytest.fixture
+def dataset() -> MobilityDataset:
+    return MobilityDataset(
+        [
+            make_line_trajectory(user_id="alice", n_points=20, start_time=1_400_000_000.0),
+            make_line_trajectory(user_id="bob", n_points=15, start_time=1_400_100_000.0),
+        ]
+    )
+
+
+class TestPlt:
+    def test_round_trip_single_file(self, tmp_path, dataset):
+        path = tmp_path / "trace.plt"
+        write_plt_file(path, dataset["alice"])
+        loaded = read_plt_file(path, "alice")
+        assert len(loaded) == len(dataset["alice"])
+        np.testing.assert_allclose(loaded.lats, dataset["alice"].lats, atol=1e-6)
+        np.testing.assert_allclose(loaded.lons, dataset["alice"].lons, atol=1e-6)
+        # PLT stores whole seconds.
+        np.testing.assert_allclose(loaded.timestamps, dataset["alice"].timestamps, atol=1.0)
+
+    def test_header_lines_are_skipped(self, tmp_path, dataset):
+        path = tmp_path / "trace.plt"
+        write_plt_file(path, dataset["alice"])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "Geolife trajectory"
+        assert len(lines) == 6 + len(dataset["alice"])
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "bad.plt"
+        path.write_text("h\n" * 6 + "not,a,valid,line\n45.0,4.0,0,0,0,2008-10-23,02:53:04\n")
+        loaded = read_plt_file(path, "u")
+        assert len(loaded) == 1
+
+    def test_directory_round_trip(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        loaded = read_geolife_directory(root)
+        assert set(loaded.user_ids) == {"alice", "bob"}
+        assert loaded.n_points == dataset.n_points
+
+    def test_directory_max_users(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        loaded = read_geolife_directory(root, max_users=1)
+        assert len(loaded) == 1
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_geolife_directory(tmp_path / "nope")
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, dataset):
+        path = tmp_path / "data.csv"
+        write_csv(path, dataset)
+        loaded = read_csv(path)
+        assert set(loaded.user_ids) == set(dataset.user_ids)
+        np.testing.assert_allclose(loaded["alice"].lats, dataset["alice"].lats, atol=1e-6)
+        np.testing.assert_allclose(loaded["alice"].timestamps, dataset["alice"].timestamps, atol=1e-3)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,when\nu,1\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,timestamp,lat,lon\nu,notanumber,45.0,4.0\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestGeoJson:
+    def test_feature_collection_structure(self, dataset):
+        zone = MixZone(45.0, 4.0, 100.0, 0.0, 10.0, frozenset({"alice", "bob"}))
+        collection = dataset_to_feature_collection(dataset, [zone])
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == 3
+        line = collection["features"][0]
+        assert line["geometry"]["type"] == "LineString"
+        # GeoJSON uses [lon, lat] ordering.
+        lon, lat = line["geometry"]["coordinates"][0]
+        assert lat == pytest.approx(dataset["alice"].first.lat)
+        assert lon == pytest.approx(dataset["alice"].first.lon)
+        point = collection["features"][-1]
+        assert point["properties"]["kind"] == "mix-zone"
+        assert point["properties"]["participants"] == ["alice", "bob"]
+
+    def test_write_geojson_is_valid_json(self, tmp_path, dataset):
+        path = tmp_path / "out.geojson"
+        write_geojson(path, dataset)
+        parsed = json.loads(path.read_text())
+        assert parsed["type"] == "FeatureCollection"
+
+    def test_empty_trajectory_feature(self):
+        from repro.io.geojson import trajectory_to_feature
+
+        feature = trajectory_to_feature(Trajectory.empty("u"))
+        assert feature["geometry"]["coordinates"] == []
+        assert feature["properties"]["n_points"] == 0

@@ -1,0 +1,133 @@
+"""Tests for the utility metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.geo_indistinguishability import GeoIndConfig, GeoIndistinguishabilityMechanism
+from repro.core.speed_smoothing import smooth_dataset
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.metrics.utility import (
+    CoverageScore,
+    DistortionSummary,
+    area_coverage,
+    dataset_spatial_distortion,
+    point_retention,
+    range_query_distortion,
+    trajectory_spatial_distortion,
+    trip_length_error,
+)
+
+from .conftest import make_line_trajectory
+
+
+class TestDistortionSummary:
+    def test_from_empty(self):
+        summary = DistortionSummary.from_distances(np.array([]))
+        assert summary.n_points == 0
+        assert summary.mean == 0.0
+
+    def test_statistics(self):
+        summary = DistortionSummary.from_distances(np.array([0.0, 10.0, 20.0, 30.0]))
+        assert summary.mean == 15.0
+        assert summary.median == 15.0
+        assert summary.max == 30.0
+        assert summary.n_points == 4
+
+
+class TestTrajectoryDistortion:
+    def test_identical_trajectory_has_zero_distortion(self, line_trajectory):
+        distances = trajectory_spatial_distortion(line_trajectory, line_trajectory)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-6)
+
+    def test_offset_trajectory_measures_the_offset(self, line_trajectory):
+        offset_deg = 300.0 / 111_195.0
+        shifted = Trajectory(
+            "u", line_trajectory.timestamps, np.asarray(line_trajectory.lats) + offset_deg, line_trajectory.lons
+        )
+        distances = trajectory_spatial_distortion(line_trajectory, shifted)
+        np.testing.assert_allclose(distances, 300.0, rtol=0.02)
+
+    def test_empty_original_raises(self, line_trajectory):
+        with pytest.raises(ValueError):
+            trajectory_spatial_distortion(Trajectory.empty("u"), line_trajectory)
+
+    def test_empty_published_gives_empty(self, line_trajectory):
+        assert trajectory_spatial_distortion(line_trajectory, Trajectory.empty("u")).size == 0
+
+
+class TestDatasetDistortion:
+    def test_smoothing_has_low_distortion(self, small_dataset):
+        published = smooth_dataset(small_dataset, epsilon_m=100.0)
+        summary = dataset_spatial_distortion(small_dataset, published)
+        assert summary.median < 50.0
+
+    def test_noise_has_high_distortion(self, small_dataset):
+        noisy = GeoIndistinguishabilityMechanism(GeoIndConfig(seed=0)).publish(small_dataset)
+        noisy_summary = dataset_spatial_distortion(small_dataset, noisy)
+        smooth_summary = dataset_spatial_distortion(small_dataset, smooth_dataset(small_dataset))
+        assert noisy_summary.median > smooth_summary.median
+
+    def test_match_by_user_variant(self, small_dataset):
+        published = smooth_dataset(small_dataset, epsilon_m=100.0)
+        summary = dataset_spatial_distortion(small_dataset, published, match_by_user=True)
+        assert summary.n_points == published.n_points
+        assert summary.median < 100.0
+
+    def test_empty_original_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            dataset_spatial_distortion(MobilityDataset(), small_dataset)
+
+
+class TestAreaCoverage:
+    def test_identical_datasets_have_perfect_coverage(self, small_dataset):
+        score = area_coverage(small_dataset, small_dataset, cell_size_m=200.0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f_score == 1.0
+
+    def test_empty_published_has_zero_recall(self, small_dataset):
+        score = area_coverage(small_dataset, MobilityDataset(), cell_size_m=200.0)
+        assert score.recall == 0.0
+        assert score.f_score == 0.0
+
+    def test_from_covers_edge_cases(self):
+        assert CoverageScore.from_covers(set(), set()).f_score == 1.0
+        assert CoverageScore.from_covers({(0, 0)}, set()).recall == 0.0
+        assert CoverageScore.from_covers(set(), {(0, 0)}).precision == 0.0
+
+    def test_smoothing_keeps_high_coverage(self, small_dataset):
+        published = smooth_dataset(small_dataset, epsilon_m=100.0)
+        score = area_coverage(small_dataset, published, cell_size_m=400.0)
+        assert score.recall > 0.7
+
+    def test_empty_original_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            area_coverage(MobilityDataset(), small_dataset)
+
+
+class TestOtherMetrics:
+    def test_point_retention(self, small_dataset):
+        assert point_retention(small_dataset, small_dataset) == 1.0
+        assert point_retention(small_dataset, MobilityDataset()) == 0.0
+        assert point_retention(MobilityDataset(), MobilityDataset()) == 0.0
+
+    def test_trip_length_error_zero_for_identity(self, small_dataset):
+        assert trip_length_error(small_dataset, small_dataset) == 0.0
+
+    def test_trip_length_error_for_empty_publication(self, small_dataset):
+        assert trip_length_error(small_dataset, MobilityDataset()) == 1.0
+
+    def test_range_query_distortion_zero_for_identity(self, small_dataset):
+        error = range_query_distortion(small_dataset, small_dataset, n_queries=50, seed=1)
+        assert error == 0.0
+
+    def test_range_query_distortion_positive_for_noise(self, small_dataset):
+        noisy = GeoIndistinguishabilityMechanism(GeoIndConfig(seed=0)).publish(small_dataset)
+        error = range_query_distortion(small_dataset, noisy, n_queries=50, seed=1)
+        assert error > 0.0
+
+    def test_range_query_requires_queries(self, small_dataset):
+        with pytest.raises(ValueError):
+            range_query_distortion(small_dataset, small_dataset, n_queries=0)

@@ -1,0 +1,104 @@
+"""Tests for natural mix-zone detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.geo.distance import destination_point
+from repro.mixzones.detection import (
+    MixZoneDetectionConfig,
+    MixZoneDetector,
+    detect_mix_zones,
+)
+
+from .conftest import LYON_LAT, LYON_LON, make_line_trajectory
+
+
+def crossing_pair(time_offset_s: float = 0.0) -> MobilityDataset:
+    """Two users whose paths cross at the same place and (roughly) time.
+
+    User A heads east through the reference point; user B heads north through
+    it, offset by ``time_offset_s``.
+    """
+    a = make_line_trajectory(user_id="a", n_points=40, spacing_m=50.0, interval_s=10.0,
+                             start_time=1000.0, bearing_deg=90.0)
+    # Build B so that it reaches the reference point mid-way through its trace.
+    lats, lons = [], []
+    lat, lon = destination_point(LYON_LAT, LYON_LON, 180.0, 20 * 50.0)
+    for _ in range(40):
+        lats.append(lat)
+        lons.append(lon)
+        lat, lon = destination_point(lat, lon, 0.0, 50.0)
+    times = 1000.0 + time_offset_s + np.arange(40) * 10.0 - 200.0
+    b = Trajectory("b", times, lats, lons)
+    return MobilityDataset([a, b])
+
+
+class TestConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MixZoneDetectionConfig(radius_m=0.0)
+        with pytest.raises(ValueError):
+            MixZoneDetectionConfig(max_time_gap_s=0.0)
+        with pytest.raises(ValueError):
+            MixZoneDetectionConfig(merge_gap_s=-1.0)
+        with pytest.raises(ValueError):
+            MixZoneDetectionConfig(min_users=1)
+
+
+class TestDetection:
+    def test_crossing_paths_produce_a_zone(self):
+        zones = detect_mix_zones(crossing_pair(), radius_m=100.0)
+        assert len(zones) >= 1
+        zone = zones[0]
+        assert zone.participants == frozenset({"a", "b"})
+        # The zone sits near the crossing point.
+        from repro.geo.distance import haversine
+
+        assert haversine(zone.center_lat, zone.center_lon, LYON_LAT, LYON_LON) < 300.0
+
+    def test_temporally_distant_paths_produce_no_zone(self):
+        zones = detect_mix_zones(crossing_pair(time_offset_s=7200.0), radius_m=100.0)
+        assert zones == []
+
+    def test_spatially_distant_users_produce_no_zone(self):
+        a = make_line_trajectory(user_id="a", start_time=0.0)
+        b = make_line_trajectory(user_id="b", start_time=0.0)
+        # Move b ten kilometres north.
+        lats = np.asarray(b.lats) + 0.1
+        b = Trajectory("b", b.timestamps, lats, b.lons)
+        assert detect_mix_zones(MobilityDataset([a, b])) == []
+
+    def test_single_user_dataset_has_no_zones(self):
+        assert detect_mix_zones(MobilityDataset([make_line_trajectory()])) == []
+
+    def test_empty_dataset(self):
+        assert detect_mix_zones(MobilityDataset()) == []
+
+    def test_zones_sorted_chronologically(self, crossing_world):
+        zones = MixZoneDetector().detect(crossing_world.dataset)
+        times = [z.midpoint_time for z in zones]
+        assert times == sorted(times)
+
+    def test_every_zone_has_at_least_two_participants(self, crossing_world):
+        zones = MixZoneDetector().detect(crossing_world.dataset)
+        assert zones, "the crossing-rich workload must contain natural mix-zones"
+        assert all(z.n_participants >= 2 for z in zones)
+
+    def test_participants_actually_cross_their_zone(self, crossing_world):
+        zones = MixZoneDetector().detect(crossing_world.dataset)[:10]
+        for zone in zones:
+            for user in zone.participants:
+                assert zone.crosses(crossing_world.dataset[user])
+
+    def test_crossing_events_have_distinct_users(self, crossing_world):
+        events = MixZoneDetector().find_crossings(crossing_world.dataset)
+        assert events
+        assert all(e.user_a != e.user_b for e in events)
+
+    def test_larger_radius_does_not_reduce_participant_counts_to_zero(self, crossing_world):
+        small = MixZoneDetector(MixZoneDetectionConfig(radius_m=50.0)).detect(crossing_world.dataset)
+        large = MixZoneDetector(MixZoneDetectionConfig(radius_m=300.0)).detect(crossing_world.dataset)
+        assert small and large

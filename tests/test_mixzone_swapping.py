@@ -1,0 +1,163 @@
+"""Tests for the mix-zone swapping engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trajectory import MobilityDataset
+from repro.mixzones.detection import MixZoneDetector
+from repro.mixzones.swapping import (
+    MixZoneSwapper,
+    SwapConfig,
+    SwapPolicy,
+    swap_dataset,
+)
+from repro.mixzones.zones import MixZone
+
+from .conftest import LYON_LAT, LYON_LON, make_line_trajectory
+
+
+def two_user_dataset() -> MobilityDataset:
+    a = make_line_trajectory(user_id="a", n_points=60, spacing_m=50.0, interval_s=10.0, start_time=0.0)
+    b = make_line_trajectory(user_id="b", n_points=60, spacing_m=50.0, interval_s=10.0, start_time=0.0,
+                             bearing_deg=0.0)
+    return MobilityDataset([a, b])
+
+
+def central_zone(radius_m: float = 150.0) -> MixZone:
+    return MixZone(LYON_LAT, LYON_LON, radius_m, 0.0, 120.0, frozenset({"a", "b"}))
+
+
+class TestSuppression:
+    def test_points_inside_zone_are_removed(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.NEVER,
+                              pseudonymize=False, time_tolerance_s=0.0)
+        assert result.suppressed_points > 0
+        assert result.dataset.n_points == dataset.n_points - result.suppressed_points
+        zone = central_zone()
+        for traj in result.dataset:
+            assert not np.any(zone.mask_of(traj))
+
+    def test_suppression_can_be_disabled(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.NEVER,
+                              pseudonymize=False, suppress_in_zone=False)
+        assert result.suppressed_points == 0
+        assert result.dataset.n_points == dataset.n_points
+
+    def test_no_zones_is_identity_when_not_pseudonymized(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [], policy=SwapPolicy.ALWAYS, pseudonymize=False)
+        assert result.dataset == dataset
+        assert result.records == []
+        assert result.n_swaps == 0
+
+
+class TestSwapping:
+    def test_always_policy_swaps_labels(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.ALWAYS,
+                              pseudonymize=False, seed=1)
+        assert result.n_swaps == 1
+        record = result.records[0]
+        assert record.swapped
+        assert record.labels_before == {"a": "a", "b": "b"}
+        assert record.labels_after == {"a": "b", "b": "a"}
+
+    def test_never_policy_keeps_labels(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.NEVER, pseudonymize=False)
+        assert result.n_swaps == 0
+        # The traversal is still recorded (provenance), but as an identity.
+        assert len(result.records) == 1
+        assert not result.records[0].swapped
+        assert result.dataset.user_ids == ["a", "b"]
+
+    def test_coin_flip_policy_records_traversal(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.COIN_FLIP,
+                              pseudonymize=False, seed=0)
+        assert len(result.records) == 1
+
+    def test_points_conserved_under_swapping(self):
+        """Swapping only relabels points: the multiset of fixes is unchanged."""
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.ALWAYS,
+                              pseudonymize=False, suppress_in_zone=False, seed=3)
+        original = sorted(
+            (float(t), float(la), float(lo))
+            for traj in dataset
+            for t, la, lo in zip(traj.timestamps, traj.lats, traj.lons)
+        )
+        published = sorted(
+            (float(t), float(la), float(lo))
+            for traj in result.dataset
+            for t, la, lo in zip(traj.timestamps, traj.lats, traj.lons)
+        )
+        assert original == published
+
+    def test_segment_ownership_covers_every_published_label(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.ALWAYS, seed=2)
+        assert set(result.segment_ownership) == set(result.dataset.user_ids)
+        for label, segments in result.segment_ownership.items():
+            assert segments == sorted(segments, key=lambda s: s[0])
+            owners = {owner for _, _, owner in segments}
+            assert owners <= {"a", "b"}
+
+    def test_swapped_trace_mixes_owners(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.ALWAYS,
+                              pseudonymize=False, seed=2)
+        owners_per_label = {
+            label: [owner for _, _, owner in segments]
+            for label, segments in result.segment_ownership.items()
+        }
+        assert any(len(set(owners)) > 1 for owners in owners_per_label.values())
+
+    def test_pseudonymization_renames_users(self):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [], policy=SwapPolicy.NEVER, pseudonymize=True, seed=0)
+        assert set(result.pseudonym_of.keys()) == {"a", "b"}
+        assert set(result.dataset.user_ids) == set(result.pseudonym_of.values())
+        assert all(label.startswith("p") for label in result.dataset.user_ids)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_always_policy_never_returns_identity(self, seed):
+        dataset = two_user_dataset()
+        result = swap_dataset(dataset, [central_zone()], policy=SwapPolicy.ALWAYS,
+                              pseudonymize=False, seed=seed)
+        assert result.n_swaps == 1
+
+    def test_time_tolerance_recovers_time_shifted_crossings(self):
+        """A zone whose window misses the traversal is still matched via the tolerance."""
+        dataset = two_user_dataset()
+        late_zone = MixZone(LYON_LAT, LYON_LON, 150.0, 5_000.0, 5_100.0, frozenset({"a", "b"}))
+        strict = swap_dataset(dataset, [late_zone], policy=SwapPolicy.ALWAYS,
+                              pseudonymize=False, time_tolerance_s=0.0)
+        tolerant = swap_dataset(dataset, [late_zone], policy=SwapPolicy.ALWAYS,
+                                pseudonymize=False, time_tolerance_s=10_000.0)
+        assert strict.n_swaps == 0
+        assert tolerant.n_swaps == 1
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            SwapConfig(time_tolerance_s=-1.0)
+
+
+class TestOnRealisticWorkload:
+    def test_full_flow_on_crossing_world(self, crossing_world):
+        zones = MixZoneDetector().detect(crossing_world.dataset)
+        result = MixZoneSwapper(SwapConfig(policy=SwapPolicy.ALWAYS, seed=0)).apply(
+            crossing_world.dataset, zones
+        )
+        assert result.n_swaps > 0
+        assert result.suppressed_points > 0
+        assert len(result.dataset) > 0
+        # Every published point must come from some original point.
+        assert result.dataset.n_points == crossing_world.dataset.n_points - result.suppressed_points

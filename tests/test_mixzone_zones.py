@@ -1,0 +1,80 @@
+"""Tests for the MixZone model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mixzones.zones import MixZone, permutation_entropy_bits
+
+from .conftest import LYON_LAT, LYON_LON, make_line_trajectory
+
+
+def make_zone(radius_m: float = 200.0, t_start: float = 0.0, t_end: float = 600.0) -> MixZone:
+    return MixZone(LYON_LAT, LYON_LON, radius_m, t_start, t_end, frozenset({"a", "b"}))
+
+
+class TestValidation:
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            MixZone(45.0, 4.0, 0.0, 0.0, 10.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            MixZone(45.0, 4.0, 100.0, 10.0, 0.0)
+
+
+class TestMembership:
+    def test_contains_point_needs_space_and_time(self):
+        zone = make_zone()
+        assert zone.contains_point(LYON_LAT, LYON_LON, 300.0)
+        assert not zone.contains_point(LYON_LAT, LYON_LON, 1000.0)
+        assert not zone.contains_point(LYON_LAT + 1.0, LYON_LON, 300.0)
+
+    def test_mask_of_trajectory(self):
+        zone = make_zone(radius_m=150.0, t_start=0.0, t_end=200.0)
+        # Line starts at the zone center at t=0 and heads east, 50 m / 10 s.
+        traj = make_line_trajectory(n_points=30, spacing_m=50.0, interval_s=10.0, start_time=0.0)
+        mask = zone.mask_of(traj)
+        assert mask[0]
+        assert not mask[-1]
+        # Inside both the 150 m radius (first 4 points) and the 200 s window.
+        assert int(np.count_nonzero(mask)) == 4
+
+    def test_mask_of_empty_trajectory(self):
+        zone = make_zone()
+        from repro.core.trajectory import Trajectory
+
+        assert zone.mask_of(Trajectory.empty("u")).size == 0
+
+    def test_crosses(self):
+        zone = make_zone()
+        crossing = make_line_trajectory(start_time=0.0)
+        missing = make_line_trajectory(start_time=10_000.0)
+        assert zone.crosses(crossing)
+        assert not zone.crosses(missing)
+
+
+class TestProperties:
+    def test_duration_and_midpoint(self):
+        zone = make_zone(t_start=100.0, t_end=300.0)
+        assert zone.duration == 200.0
+        assert zone.midpoint_time == 200.0
+
+    def test_with_participants(self):
+        zone = make_zone().with_participants({"x", "y", "z"})
+        assert zone.n_participants == 3
+        assert zone.participants == frozenset({"x", "y", "z"})
+
+    def test_entropy(self):
+        assert permutation_entropy_bits(0) == 0.0
+        assert permutation_entropy_bits(1) == 0.0
+        assert permutation_entropy_bits(2) == pytest.approx(1.0)
+        assert permutation_entropy_bits(4) == pytest.approx(math.log2(24))
+        assert make_zone().anonymity_set_entropy_bits() == pytest.approx(1.0)
+
+    def test_as_tuple(self):
+        zone = make_zone(radius_m=123.0, t_start=1.0, t_end=2.0)
+        assert zone.as_tuple() == (LYON_LAT, LYON_LON, 123.0, 1.0, 2.0)

@@ -1,0 +1,107 @@
+"""Tests for the MobilityDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import MobilityDataset, Trajectory
+
+from .conftest import make_line_trajectory
+
+
+def make_dataset(n_users: int = 3) -> MobilityDataset:
+    return MobilityDataset(
+        make_line_trajectory(user_id=f"u{i}", n_points=5 + i, start_time=1000.0 * i)
+        for i in range(n_users)
+    )
+
+
+class TestConstruction:
+    def test_duplicate_user_rejected(self):
+        a = make_line_trajectory(user_id="same")
+        b = make_line_trajectory(user_id="same")
+        with pytest.raises(ValueError):
+            MobilityDataset([a, b])
+
+    def test_mapping_protocol(self):
+        ds = make_dataset(3)
+        assert len(ds) == 3
+        assert "u1" in ds
+        assert "nope" not in ds
+        assert ds["u1"].user_id == "u1"
+        assert ds.get("nope") is None
+        assert [t.user_id for t in ds] == ["u0", "u1", "u2"]
+
+    def test_n_points(self):
+        ds = make_dataset(3)
+        assert ds.n_points == 5 + 6 + 7
+
+    def test_equality_ignores_order(self):
+        a = make_dataset(3)
+        b = MobilityDataset(reversed(list(make_dataset(3))))
+        assert a == b
+        assert a != make_dataset(2)
+
+
+class TestStatistics:
+    def test_bbox_and_time_span(self):
+        ds = make_dataset(2)
+        box = ds.bbox
+        lats, lons = ds.all_coordinates()
+        assert box.contains(float(lats[0]), float(lons[0]))
+        t_min, t_max = ds.time_span
+        assert t_min == 0.0
+        assert t_max >= 1000.0
+
+    def test_empty_dataset_statistics_raise(self):
+        empty = MobilityDataset()
+        with pytest.raises(ValueError):
+            empty.bbox
+        with pytest.raises(ValueError):
+            empty.time_span
+        lats, lons = empty.all_coordinates()
+        assert lats.size == 0 and lons.size == 0
+
+
+class TestTransformations:
+    def test_map_trajectories(self):
+        ds = make_dataset(2)
+        shifted = ds.map_trajectories(lambda t: t.shift_time(10.0))
+        assert shifted["u0"].first.timestamp == ds["u0"].first.timestamp + 10.0
+        # The original is untouched (value semantics).
+        assert ds["u0"].first.timestamp == 0.0
+
+    def test_filter_and_without_empty(self):
+        ds = MobilityDataset([make_line_trajectory(user_id="a"), Trajectory.empty("b")])
+        assert ds.without_empty().user_ids == ["a"]
+        assert ds.filter_users(lambda t: t.user_id == "b").user_ids == ["b"]
+
+    def test_subset_preserves_requested_order(self):
+        ds = make_dataset(3)
+        subset = ds.subset(["u2", "u0"])
+        assert subset.user_ids == ["u2", "u0"]
+
+    def test_relabel(self):
+        ds = make_dataset(2)
+        relabeled = ds.relabel({"u0": "alice"})
+        assert set(relabeled.user_ids) == {"alice", "u1"}
+        np.testing.assert_array_equal(relabeled["alice"].lats, ds["u0"].lats)
+
+    def test_relabel_collision_rejected(self):
+        ds = make_dataset(2)
+        with pytest.raises(ValueError):
+            ds.relabel({"u0": "u1"})
+
+    def test_merge_requires_disjoint_users(self):
+        ds = make_dataset(2)
+        other = MobilityDataset([make_line_trajectory(user_id="v0")])
+        merged = ds.merge(other)
+        assert len(merged) == 3
+        with pytest.raises(ValueError):
+            ds.merge(make_dataset(1))
+
+    def test_slice_time(self):
+        ds = make_dataset(2)
+        sliced = ds.slice_time(0.0, 10.0)
+        assert all(p.timestamp <= 10.0 for t in sliced for p in t)

@@ -1,0 +1,186 @@
+"""Cross-cutting property-based tests (hypothesis) on the core invariants.
+
+Each property is stated over randomly generated trajectories / parameters and
+captures an invariant that the rest of the library (and the paper's argument)
+relies on:
+
+* speed smoothing always yields constant spacing, constant duration and a
+  preserved time span, whatever the input looks like;
+* the swapping engine never invents or moves points — it only relabels and
+  suppresses;
+* the grid cell cover is invariant under point duplication and permutation;
+* distances behave like a metric on the scales the library uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.speed_smoothing import SpeedSmoothingConfig, SpeedSmoother
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.geo.distance import haversine
+from repro.geo.geometry import BoundingBox
+from repro.geo.grid import Grid
+from repro.mixzones.swapping import MixZoneSwapper, SwapConfig, SwapPolicy
+from repro.mixzones.zones import MixZone
+
+# ---------------------------------------------------------------------------
+# Random trajectory strategy: a walk around Lyon with variable step and pauses.
+# ---------------------------------------------------------------------------
+
+BASE_LAT, BASE_LON = 45.764, 4.836
+
+
+@st.composite
+def random_trajectories(draw, min_points: int = 5, max_points: int = 80):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    # Mixture of movement (hundreds of meters) and pauses (meters of jitter).
+    moving = rng.random(n) < 0.7
+    step_m = np.where(moving, rng.uniform(50.0, 400.0, n), rng.uniform(0.0, 10.0, n))
+    bearings = rng.uniform(0.0, 2 * np.pi, n)
+    dlat = step_m * np.cos(bearings) / 111_195.0
+    dlon = step_m * np.sin(bearings) / (111_195.0 * np.cos(np.radians(BASE_LAT)))
+    lats = BASE_LAT + np.cumsum(dlat)
+    lons = BASE_LON + np.cumsum(dlon)
+    intervals = rng.uniform(5.0, 120.0, n)
+    times = 1_000_000.0 + np.cumsum(intervals)
+    return Trajectory(f"user_{seed}", times, lats, lons)
+
+
+class TestSmoothingProperties:
+    @given(traj=random_trajectories(), epsilon=st.floats(min_value=30.0, max_value=500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_spacing_and_duration(self, traj, epsilon):
+        smoother = SpeedSmoother(SpeedSmoothingConfig(epsilon_m=epsilon, session_gap_s=None))
+        smoothed = smoother.smooth(traj)
+        if len(smoothed) < 2:
+            return
+        spacings = smoothed.segment_distances()
+        durations = smoothed.segment_durations()
+        np.testing.assert_allclose(spacings, epsilon, rtol=1e-3)
+        np.testing.assert_allclose(durations, durations[0], rtol=1e-6)
+
+    @given(traj=random_trajectories())
+    @settings(max_examples=40, deadline=None)
+    def test_time_span_never_extended(self, traj):
+        smoothed = SpeedSmoother().smooth(traj)
+        if len(smoothed) == 0:
+            return
+        assert smoothed.first.timestamp >= traj.first.timestamp - 1e-6
+        assert smoothed.last.timestamp <= traj.last.timestamp + 1e-6
+
+    @given(traj=random_trajectories())
+    @settings(max_examples=40, deadline=None)
+    def test_published_points_inside_original_bounding_box(self, traj):
+        smoothed = SpeedSmoother().smooth(traj)
+        if len(smoothed) == 0:
+            return
+        box = traj.bbox.expanded(1.0)
+        assert all(box.contains(p.lat, p.lon) for p in smoothed)
+
+    @given(traj=random_trajectories(), epsilon=st.floats(min_value=30.0, max_value=300.0))
+    @settings(max_examples=40, deadline=None)
+    def test_output_never_longer_than_path_allows(self, traj, epsilon):
+        smoothed = SpeedSmoother(SpeedSmoothingConfig(epsilon_m=epsilon, session_gap_s=None)).smooth(traj)
+        max_points = int(traj.length_m / epsilon) + 2
+        assert len(smoothed) <= max_points
+
+
+class TestSwappingProperties:
+    @given(
+        seeds=st.lists(st.integers(min_value=0, max_value=5_000), min_size=2, max_size=4, unique=True),
+        policy=st.sampled_from([SwapPolicy.NEVER, SwapPolicy.COIN_FLIP, SwapPolicy.ALWAYS]),
+        swap_seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_points_are_conserved_up_to_suppression(self, seeds, policy, swap_seed):
+        # Deterministic random walks; hypothesis drives the seeds and the policy.
+        trajectories = []
+        for seed in seeds:
+            local = np.random.default_rng(seed)
+            n = 20
+            lats = BASE_LAT + np.cumsum(local.uniform(-0.001, 0.001, n))
+            lons = BASE_LON + np.cumsum(local.uniform(-0.001, 0.001, n))
+            times = 1_000.0 + np.arange(n) * 30.0
+            trajectories.append(Trajectory(f"u{seed}", times, lats, lons))
+        dataset = MobilityDataset(trajectories)
+        zone = MixZone(BASE_LAT, BASE_LON, 250.0, 1_000.0, 1_600.0, frozenset(t.user_id for t in trajectories))
+        result = MixZoneSwapper(SwapConfig(policy=policy, seed=swap_seed, pseudonymize=True)).apply(
+            dataset, [zone]
+        )
+        assert result.dataset.n_points == dataset.n_points - result.suppressed_points
+        # Every published coordinate existed in the input.
+        original = {
+            (round(float(t), 6), round(float(la), 9), round(float(lo), 9))
+            for traj in dataset
+            for t, la, lo in zip(traj.timestamps, traj.lats, traj.lons)
+        }
+        for traj in result.dataset:
+            for t, la, lo in zip(traj.timestamps, traj.lats, traj.lons):
+                assert (round(float(t), 6), round(float(la), 9), round(float(lo), 9)) in original
+
+    @given(swap_seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_labels_after_are_a_permutation_of_labels_before(self, swap_seed):
+        trajectories = []
+        for i in range(3):
+            n = 15
+            lats = np.full(n, BASE_LAT) + np.linspace(0, 0.001, n)
+            lons = np.full(n, BASE_LON) + i * 1e-5
+            times = np.arange(n) * 60.0
+            trajectories.append(Trajectory(f"u{i}", times, lats, lons))
+        dataset = MobilityDataset(trajectories)
+        zone = MixZone(BASE_LAT, BASE_LON, 500.0, 0.0, 900.0, frozenset(t.user_id for t in trajectories))
+        result = MixZoneSwapper(SwapConfig(policy=SwapPolicy.ALWAYS, seed=swap_seed)).apply(dataset, [zone])
+        for record in result.records:
+            assert sorted(record.labels_before.values()) == sorted(record.labels_after.values())
+
+
+class TestGridProperties:
+    @given(
+        lats=st.lists(st.floats(min_value=45.0, max_value=45.1), min_size=1, max_size=50),
+        lons=st.lists(st.floats(min_value=4.0, max_value=4.1), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cover_invariant_under_duplication_and_order(self, lats, lons):
+        n = min(len(lats), len(lons))
+        lats, lons = np.array(lats[:n]), np.array(lons[:n])
+        grid = Grid.covering(BoundingBox(45.0, 4.0, 45.1, 4.1), 250.0)
+        cover = grid.cell_cover(lats, lons)
+        doubled = grid.cell_cover(np.concatenate([lats, lats]), np.concatenate([lons, lons]))
+        shuffled_idx = np.random.default_rng(0).permutation(n)
+        shuffled = grid.cell_cover(lats[shuffled_idx], lons[shuffled_idx])
+        assert cover == doubled == shuffled
+
+    @given(
+        lat=st.floats(min_value=45.0, max_value=45.1),
+        lon=st.floats(min_value=4.0, max_value=4.1),
+        cell_size=st.floats(min_value=50.0, max_value=1000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cell_center_round_trips(self, lat, lon, cell_size):
+        grid = Grid.covering(BoundingBox(45.0, 4.0, 45.1, 4.1), cell_size)
+        cell = grid.cell_of(lat, lon)
+        assert grid.cell_of(*grid.cell_center(cell)) == cell
+
+
+class TestDistanceProperties:
+    @given(
+        lat1=st.floats(min_value=-70, max_value=70),
+        lon1=st.floats(min_value=-170, max_value=170),
+        lat2=st.floats(min_value=-70, max_value=70),
+        lon2=st.floats(min_value=-170, max_value=170),
+        lat3=st.floats(min_value=-70, max_value=70),
+        lon3=st.floats(min_value=-170, max_value=170),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        d12 = haversine(lat1, lon1, lat2, lon2)
+        d23 = haversine(lat2, lon2, lat3, lon3)
+        d13 = haversine(lat1, lon1, lat3, lon3)
+        assert d13 <= d12 + d23 + 1e-6
