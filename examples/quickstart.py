@@ -1,8 +1,9 @@
-"""Quickstart: anonymize a mobility dataset in a dozen lines.
+"""Quickstart: the pluggable API in a dozen lines.
 
-Generates a small synthetic GeoLife-like dataset, runs the paper's full
-pipeline (speed smoothing + mix-zone swapping), then shows what the standard
-POI-extraction attack can recover before and after protection.
+Generates a small synthetic GeoLife-like dataset, publishes it through the
+paper's full pipeline resolved *by name* from the mechanism registry, then
+lets the declarative evaluation engine compare it against the raw release
+under the standard POI-extraction attack.
 
 Run with::
 
@@ -11,35 +12,45 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Anonymizer, generate_world
-from repro.attacks import PoiExtractor
-from repro.metrics import dataset_spatial_distortion, poi_retrieval_pooled
-from repro.experiments.runner import ground_truth_pois
+from repro import (
+    EvaluationEngine,
+    ExperimentSpec,
+    generate_world,
+    list_mechanisms,
+    make_mechanism,
+)
+from repro.experiments.formatting import format_table
 
 
 def main() -> None:
     # 1. A synthetic world: 15 users over 3 days, with known ground truth.
     world = generate_world(n_users=15, n_days=3, seed=7)
     print(f"generated {len(world.dataset)} users / {world.dataset.n_points} GPS points")
+    print(f"registered mechanisms: {', '.join(list_mechanisms())}")
 
-    # 2. Publish the dataset through the paper's pipeline.
-    published, report = Anonymizer().publish(world.dataset)
-    print(report.summary())
+    # 2. Publish through the paper's pipeline; the result carries provenance.
+    result = make_mechanism("promesse:seed=7").publish(world.dataset)
+    print(result.report.summary())
 
-    # 3. Attack both versions with stay-point clustering.
-    attack = PoiExtractor()
-    truth = ground_truth_pois(world)
-    raw_pois = [p for pois in attack.extract_dataset(world.dataset).values() for p in pois]
-    protected_pois = [p for pois in attack.extract_dataset(published).values() for p in pois]
+    # 3. One declarative spec compares mechanisms under attack and metrics.
+    spec = ExperimentSpec(
+        name="quickstart",
+        mechanisms=["identity", "promesse:seed=7", "geo-ind:epsilon_per_m=0.0080,seed=7"],
+        attacks=["poi-retrieval:algorithm=staypoint"],
+        metrics=[("spatial-distortion", "point-retention")],
+        worlds=["world"],
+    )
+    rows = EvaluationEngine().run(spec, worlds={"world": world})
 
-    raw_score = poi_retrieval_pooled(truth, raw_pois)
-    protected_score = poi_retrieval_pooled(truth, protected_pois)
-    print(f"POI attack on raw data      : recall={raw_score.recall:.0%}  f-score={raw_score.f_score:.2f}")
-    print(f"POI attack on published data: recall={protected_score.recall:.0%}  f-score={protected_score.f_score:.2f}")
-
-    # 4. And the price paid in spatial utility.
-    distortion = dataset_spatial_distortion(world.dataset, published)
-    print(f"median spatial distortion   : {distortion.median:.0f} m (p95 {distortion.p95:.0f} m)")
+    headers = ["mechanism", "recall", "f_score", "median_m", "point_retention"]
+    print()
+    print(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title="POI attack recall vs spatial utility",
+        )
+    )
 
 
 if __name__ == "__main__":

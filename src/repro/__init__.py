@@ -9,15 +9,40 @@ identifiers inside naturally occurring mix-zones.
 Quickstart
 ----------
 
->>> from repro import generate_world, Anonymizer
+>>> from repro import generate_world, make_mechanism
 >>> world = generate_world(n_users=10, n_days=3, seed=7)
->>> published, report = Anonymizer().publish(world.dataset)
->>> print(report.summary())
+>>> result = make_mechanism("promesse").publish(world.dataset)
+>>> print(result.summary())
+
+Mechanisms, attacks and metrics are pluggable: they register by name
+(:mod:`repro.api`) and any cross product of them runs through the
+declarative engine::
+
+    spec = ExperimentSpec(name="study",
+                          mechanisms=["identity", "promesse", "geo-ind"],
+                          attacks=["poi-retrieval"],
+                          metrics=["spatial-distortion"])
+    rows = EvaluationEngine(workers=4).run(spec, worlds={...})
+
+The legacy surface (``Anonymizer().publish`` returning a ``(dataset,
+report)`` tuple) remains available as a deprecation shim.
 
 See ``examples/`` for complete scenarios and ``DESIGN.md`` / ``EXPERIMENTS.md``
 for the system inventory and the reproduced evaluation.
 """
 
+from .api import (
+    PublicationResult,
+    list_attacks,
+    list_mechanisms,
+    list_metrics,
+    make_attack,
+    make_mechanism,
+    make_metric,
+    register_attack,
+    register_mechanism,
+    register_metric,
+)
 from .core.pipeline import AnonymizationReport, Anonymizer, AnonymizerConfig, anonymize
 from .core.speed_smoothing import (
     SpeedSmoother,
@@ -27,14 +52,28 @@ from .core.speed_smoothing import (
 )
 from .core.trajectory import MobilityDataset, Point, Trajectory
 from .datagen.mobility import SyntheticWorld, generate_world
+from .experiments.engine import EvaluationEngine, ExperimentSpec, make_world
 from .mixzones.detection import MixZoneDetector, detect_mix_zones
 from .mixzones.swapping import MixZoneSwapper, SwapPolicy, swap_dataset
 from .mixzones.zones import MixZone
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "PublicationResult",
+    "make_mechanism",
+    "make_attack",
+    "make_metric",
+    "list_mechanisms",
+    "list_attacks",
+    "list_metrics",
+    "register_mechanism",
+    "register_attack",
+    "register_metric",
+    "ExperimentSpec",
+    "EvaluationEngine",
+    "make_world",
     "Point",
     "Trajectory",
     "MobilityDataset",

@@ -126,3 +126,22 @@ class GapInferenceAttack:
 def infer_pois_from_gaps(trajectory: Trajectory, **kwargs) -> List[ExtractedPoi]:
     """Convenience wrapper: run the gap-inference attack on one trace."""
     return GapInferenceAttack(GapInferenceConfig(**kwargs)).extract(trajectory)
+
+
+from ..api.registry import register_attack
+
+
+@register_attack("gap-inference")
+def _gap_inference_attack(
+    min_gap_s: float = 3600.0,
+    max_reappear_distance_m: float = 300.0,
+    merge_distance_m: float = 150.0,
+) -> GapInferenceAttack:
+    """Recording-gap inference, e.g. ``gap-inference:min_gap_s=1800``."""
+    return GapInferenceAttack(
+        GapInferenceConfig(
+            min_gap_s=min_gap_s,
+            max_reappear_distance_m=max_reappear_distance_m,
+            merge_distance_m=merge_distance_m,
+        )
+    )

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..api.registry import register_mechanism
 from ..core.trajectory import MobilityDataset, Trajectory
 from ..geo.projection import LocalProjection
 from .base import PublicationMechanism
@@ -109,3 +110,28 @@ class GeoIndistinguishabilityMechanism(PublicationMechanism):
     def publish(self, dataset: MobilityDataset) -> MobilityDataset:
         """Perturb every trajectory of the dataset independently."""
         return dataset.map_trajectories(self.publish_trajectory)
+
+    def public_properties(self) -> dict:
+        """A Geo-I release announces its privacy budget, hence its noise scale.
+
+        ``noise_radius_m`` is the mean planar-Laplace radius ``2 / epsilon``
+        — the figure an informed attacker scales its clustering diameter to.
+        """
+        return {
+            "epsilon_per_m": self.config.epsilon_per_m,
+            "noise_radius_m": 2.0 / self.config.epsilon_per_m,
+        }
+
+
+@register_mechanism("geo-ind", aliases=("geo-i", "geoind"))
+def _geo_ind_mechanism(
+    epsilon_per_m: float = float(np.log(4.0) / 200.0),
+    per_point_budget: bool = True,
+    seed: Optional[int] = 0,
+) -> GeoIndistinguishabilityMechanism:
+    """Planar-Laplace perturbation, e.g. ``geo-ind:epsilon_per_m=0.005,seed=7``."""
+    return GeoIndistinguishabilityMechanism(
+        GeoIndConfig(
+            epsilon_per_m=epsilon_per_m, per_point_budget=per_point_budget, seed=seed
+        )
+    )

@@ -17,16 +17,18 @@ Neither mechanism here offers real protection; they bound the comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..api.registry import register_mechanism
 from ..core.trajectory import MobilityDataset
 from .base import PublicationMechanism
 
 __all__ = ["IdentityMechanism", "DownsamplingMechanism", "PseudonymizationMechanism"]
 
 
+@register_mechanism("identity", aliases=("raw",))
 class IdentityMechanism(PublicationMechanism):
     """Publish the dataset unchanged (no protection)."""
 
@@ -36,6 +38,7 @@ class IdentityMechanism(PublicationMechanism):
         return dataset
 
 
+@register_mechanism("downsampling", aliases=("downsample",))
 @dataclass
 class DownsamplingMechanism(PublicationMechanism):
     """Publish one fix out of every ``factor`` for each user."""
@@ -51,9 +54,15 @@ class DownsamplingMechanism(PublicationMechanism):
         return dataset.map_trajectories(lambda t: t.downsample(self.factor))
 
 
+@register_mechanism("pseudonyms", aliases=("pseudonymization",))
 @dataclass
 class PseudonymizationMechanism(PublicationMechanism):
-    """Replace user identifiers with random pseudonyms; keep locations intact."""
+    """Replace user identifiers with random pseudonyms; keep locations intact.
+
+    The pseudonym -> original-user mapping of the most recent publication is
+    kept in ``last_pseudonym_of`` as provenance for the unified API (it is
+    what linkage attacks are scored against).
+    """
 
     seed: Optional[int] = 0
     name: str = "pseudonyms"
@@ -63,4 +72,7 @@ class PseudonymizationMechanism(PublicationMechanism):
         users = dataset.user_ids
         order = rng.permutation(len(users))
         mapping = {users[i]: f"p{rank:04d}" for rank, i in enumerate(order)}
+        self.last_pseudonym_of: Dict[str, str] = {
+            pseudonym: user for user, pseudonym in mapping.items()
+        }
         return dataset.relabel(mapping)

@@ -33,11 +33,32 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import register_mechanism
 from ..core.trajectory import MobilityDataset, Trajectory
 from ..geo.projection import LocalProjection
 from .base import PublicationMechanism
 
 __all__ = ["Wait4MeConfig", "Wait4MeMechanism"]
+
+
+@register_mechanism("wait4me", aliases=("w4m",))
+def _wait4me_mechanism(
+    k: int = 4,
+    delta_m: float = 500.0,
+    time_step_s: float = 300.0,
+    max_cluster_radius_m: float = 4000.0,
+    seed: Optional[int] = 0,
+) -> "Wait4MeMechanism":
+    """(k, delta)-anonymity, e.g. ``wait4me:k=8,delta_m=1000``."""
+    return Wait4MeMechanism(
+        Wait4MeConfig(
+            k=k,
+            delta_m=delta_m,
+            time_step_s=time_step_s,
+            max_cluster_radius_m=max_cluster_radius_m,
+            seed=seed,
+        )
+    )
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,12 @@ The pipeline returns both the published dataset and an
 :class:`AnonymizationReport` carrying every piece of provenance needed by the
 evaluation: detected zones, swap records, suppression counts and ground-truth
 segment ownership.
+
+.. note::
+   The ``publish() -> (dataset, report)`` tuple is the legacy surface, kept
+   for compatibility.  New code should prefer :meth:`Anonymizer.publish_result`
+   (or ``repro.api.make_mechanism("promesse")``), which returns the unified
+   :class:`~repro.api.result.PublicationResult` carrying the same provenance.
 """
 
 from __future__ import annotations
@@ -150,6 +156,21 @@ class Anonymizer:
             },
         )
         return published, report
+
+
+    def publish_result(self, dataset: MobilityDataset):
+        """Publish under the unified API: a provenance-carrying result.
+
+        Equivalent to :meth:`publish` but returns a single
+        :class:`~repro.api.result.PublicationResult` instead of the legacy
+        ``(dataset, report)`` tuple.
+        """
+        from ..api.result import PublicationResult
+
+        published, report = self.publish(dataset)
+        return PublicationResult(
+            dataset=published, mechanism="promesse", report=report
+        )
 
 
 def anonymize(

@@ -1,7 +1,15 @@
-"""Experiment harness: workloads, runners and output formatting."""
+"""Experiment harness: workloads, the evaluation engine and formatting.
 
+The declarative surface (:class:`~repro.experiments.engine.ExperimentSpec`
+executed by :class:`~repro.experiments.engine.EvaluationEngine`) is the
+primary API; the ``run_*`` functions are the paper's seven experiments
+pre-packaged as specs.
+"""
+
+from .engine import EvalContext, EvaluationEngine, ExperimentSpec, make_world
 from .formatting import format_percent, format_series, format_table
 from .runner import (
+    DEFAULT_MECHANISM_SPECS,
     default_mechanisms,
     ground_truth_pois,
     run_area_coverage,
@@ -21,9 +29,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "ExperimentSpec",
+    "EvaluationEngine",
+    "EvalContext",
+    "make_world",
     "format_table",
     "format_series",
     "format_percent",
+    "DEFAULT_MECHANISM_SPECS",
     "default_mechanisms",
     "ground_truth_pois",
     "run_poi_retrieval",

@@ -1,0 +1,467 @@
+"""Declarative experiment specification and the evaluation engine.
+
+An :class:`ExperimentSpec` names *what* to evaluate — the cross product of
+mechanisms x attacks x metric groups x worlds x seeds, every component given
+as a registry spec string — and the :class:`EvaluationEngine` decides *how*:
+sequentially or with :mod:`multiprocessing` fan-out, publishing each
+(world, seed, mechanism) combination exactly once per run and caching
+finished result cells across runs.
+
+Every experiment of the reproduction (the ``run_*`` functions in
+:mod:`repro.experiments.runner`) is a thin spec executed by this engine::
+
+    spec = ExperimentSpec(
+        name="poi-retrieval",
+        mechanisms=["identity", "promesse", "geo-ind:epsilon_per_m=0.005"],
+        attacks=["poi-retrieval:algorithm=staypoint"],
+        worlds=["standard:scale=small,seed=42"],
+        seeds=[0, 1, 2],
+    )
+    rows = EvaluationEngine(workers=4).run(spec)
+
+Each cell yields one row ``{"world", "seed", "mechanism", "attack",
+**attack columns, **metric columns}``; rows come back in deterministic
+cross-product order regardless of worker scheduling.
+
+Axis entries may also be ``(label, item)`` pairs — and mechanism items may be
+live mechanism *objects*, which keeps the legacy ``run_*(world, {"name":
+mechanism})`` call sites working — but only string specs are picklable and
+cacheable, so object cells always run in-process and uncached.
+
+A reserved ``prefix`` parameter namespaces a component's columns
+(``"area-coverage:cell_size_m=200,prefix=cov_"`` -> ``cov_f_score``), which
+is how one row can merge several components that would otherwise collide.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..api.adapters import publish_result
+from ..api.registry import (
+    ATTACKS,
+    METRICS,
+    Registry,
+    RegistryError,
+    make_mechanism,
+    parse_spec,
+)
+from ..api.result import PublicationResult
+from ..core.trajectory import MobilityDataset
+from ..datagen.mobility import generate_world
+from .workloads import (
+    crossing_rich_world,
+    figure1_world,
+    split_train_publish,
+    standard_world,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "EvaluationEngine",
+    "EvalContext",
+    "WORLDS",
+    "make_world",
+]
+
+
+# ---------------------------------------------------------------------------
+# World registry
+# ---------------------------------------------------------------------------
+
+WORLDS = Registry("world")
+
+WORLDS.register("standard")(
+    lambda scale="small", seed=42: standard_world(scale, seed=seed)
+)
+WORLDS.register("crossing", aliases=("crossing-rich",))(
+    lambda scale="small", seed=42: crossing_rich_world(scale, seed=seed)
+)
+WORLDS.register("figure1")(figure1_world)
+WORLDS.register("generate")(generate_world)
+
+
+def make_world(spec: str):
+    """Build a workload from a spec, e.g. ``"crossing:scale=medium,seed=7"``."""
+    return WORLDS.create(spec)
+
+
+# ---------------------------------------------------------------------------
+# Experiment specification
+# ---------------------------------------------------------------------------
+
+#: An axis entry: a spec string, or an explicit (label, spec-or-object) pair.
+AxisEntry = Union[str, Tuple[str, Any]]
+
+
+def _normalize_axis(entries: Sequence[AxisEntry], kind: str) -> List[Tuple[str, Any]]:
+    normalized: List[Tuple[str, Any]] = []
+    for entry in entries:
+        if isinstance(entry, tuple):
+            label, item = entry
+            normalized.append((str(label), item))
+        elif isinstance(entry, str):
+            normalized.append((entry, entry))
+        elif entry is None and kind == "attack":
+            normalized.append(("", None))
+        else:
+            normalized.append((getattr(entry, "name", type(entry).__name__), entry))
+    return normalized
+
+
+def _normalize_metric_groups(
+    metrics: Sequence[Union[str, Sequence[str]]]
+) -> List[Tuple[str, ...]]:
+    groups: List[Tuple[str, ...]] = []
+    for group in metrics:
+        if isinstance(group, str):
+            groups.append((group,))
+        else:
+            groups.append(tuple(group))
+    return groups or [()]
+
+
+@dataclass
+class ExperimentSpec:
+    """The declarative cross product one engine run evaluates.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (used in logs and cache partitioning).
+    mechanisms:
+        Mechanism axis: spec strings, ``(label, spec)`` pairs, or
+        ``(label, mechanism object)`` pairs.
+    attacks:
+        Attack axis: evaluator specs (``poi-retrieval:...``) or ``None`` for
+        attack-free cells.  Defaults to one attack-free entry.
+    metrics:
+        Metric axis: each entry is one *group* — a spec or tuple of specs
+        whose columns merge into the same row.  Groups multiply the cross
+        product; specs inside a group do not.
+    worlds:
+        Workload axis: world specs (see :data:`WORLDS`) or names resolved
+        through the ``worlds`` mapping passed to :meth:`EvaluationEngine.run`.
+    seeds:
+        Seed axis; each seed is injected into mechanism factories that
+        declare a ``seed`` parameter (explicit spec params win).
+    input:
+        What each mechanism publishes: ``"full"`` (the world's dataset) or
+        ``"publish-half:train_fraction=0.5"`` (the second temporal half, the
+        re-identification setting where the first half is attacker
+        knowledge).
+    """
+
+    name: str
+    mechanisms: Sequence[AxisEntry]
+    attacks: Sequence[Optional[AxisEntry]] = (None,)
+    metrics: Sequence[Union[str, Sequence[str]]] = ()
+    worlds: Sequence[AxisEntry] = ("standard:scale=small,seed=42",)
+    seeds: Sequence[int] = (0,)
+    input: str = "full"
+
+    def cells(self) -> List[Dict[str, Any]]:
+        """The ordered cross product as flat cell descriptors."""
+        mechanisms = _normalize_axis(self.mechanisms, "mechanism")
+        attacks = _normalize_axis(self.attacks, "attack")
+        groups = _normalize_metric_groups(self.metrics)
+        worlds = _normalize_axis(self.worlds, "world")
+        cells: List[Dict[str, Any]] = []
+        index = 0
+        for world_label, world_item in worlds:
+            for seed in self.seeds:
+                for mech_index, (mech_label, mech_item) in enumerate(mechanisms):
+                    for attack_label, attack_item in attacks:
+                        for group in groups:
+                            cells.append(
+                                {
+                                    "index": index,
+                                    "world_label": world_label,
+                                    "world_item": world_item,
+                                    "seed": seed,
+                                    "mech_index": mech_index,
+                                    "mech_label": mech_label,
+                                    "mech_item": mech_item,
+                                    "attack_label": attack_label,
+                                    "attack_item": attack_item,
+                                    "metric_group": group,
+                                }
+                            )
+                            index += 1
+        return cells
+
+
+# ---------------------------------------------------------------------------
+# Cell evaluation (worker side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EvalContext:
+    """What attacks receive next to the publication: the cell's inputs."""
+
+    world: Any
+    world_key: str
+    input_dataset: MobilityDataset
+    seed: int
+
+
+def _resolve_input(world, input_spec: str) -> MobilityDataset:
+    name, params = parse_spec(input_spec)
+    if name in ("full", "dataset"):
+        return world.dataset
+    if name == "publish-half":
+        return split_train_publish(world, params.get("train_fraction", 0.5))[1]
+    if name == "train-half":
+        return split_train_publish(world, params.get("train_fraction", 0.5))[0]
+    raise RegistryError(
+        f"unknown input {input_spec!r}; choose 'full', 'publish-half' or 'train-half'"
+    )
+
+
+def _pop_prefix(spec: str) -> Tuple[str, Dict[str, Any], str]:
+    name, params = parse_spec(spec)
+    prefix = str(params.pop("prefix", ""))
+    return name, params, prefix
+
+
+def _apply_prefix(columns: Mapping[str, Any], prefix: str) -> Dict[str, Any]:
+    if not prefix:
+        return dict(columns)
+    return {prefix + key: value for key, value in columns.items()}
+
+
+def _publish_for_group(mech_item, mech_label, input_dataset, seed) -> PublicationResult:
+    if isinstance(mech_item, str):
+        mechanism = make_mechanism(mech_item, defaults={"seed": seed})
+        return mechanism.publish(input_dataset)
+    return publish_result(mech_item, input_dataset, label=mech_label)
+
+
+def _evaluate_group(payload) -> List[Tuple[int, Dict[str, Any]]]:
+    """Evaluate every cell sharing one (world, seed, mechanism) publication.
+
+    Module-level so worker processes can unpickle it; all component
+    construction happens here, inside the worker, from spec strings.
+    """
+    (world, world_label, input_spec, seed, mech_label, mech_item, cell_args) = payload
+    input_dataset = _resolve_input(world, input_spec)
+    result = _publish_for_group(mech_item, mech_label, input_dataset, seed)
+    context = EvalContext(
+        world=world, world_key=world_label, input_dataset=input_dataset, seed=seed
+    )
+
+    out: List[Tuple[int, Dict[str, Any]]] = []
+    for index, attack_label, attack_item, metric_group in cell_args:
+        columns: Dict[str, Any] = {}
+        if attack_item is not None:
+            if isinstance(attack_item, str):
+                name, params, prefix = _pop_prefix(attack_item)
+                attack = ATTACKS.create_parsed(name, params)
+            else:
+                attack, prefix = attack_item, ""
+            run = getattr(attack, "run", None)
+            if run is None:
+                raise RegistryError(
+                    f"attack {attack_label!r} has no run(result, context) method; "
+                    "only evaluator attacks (e.g. 'poi-retrieval', 'reident', "
+                    "'tracking', 'zone-census') can sit on the attack axis"
+                )
+            columns.update(_apply_prefix(run(result, context), prefix))
+        for metric_spec in metric_group:
+            name, params, prefix = _pop_prefix(metric_spec)
+            metric = METRICS.create_parsed(name, params)
+            columns.update(_apply_prefix(metric(input_dataset, result), prefix))
+        row: Dict[str, Any] = {
+            "world": world_label,
+            "seed": seed,
+            "mechanism": mech_label,
+            "attack": attack_label or None,
+        }
+        row.update(columns)
+        out.append((index, row))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+def _world_fingerprint(world) -> Tuple:
+    """A content fingerprint strong enough to key cached rows by.
+
+    Shape alone (user/point counts, time span) is not enough — two worlds
+    differing only in coordinates would alias — so a CRC over a sample of
+    the coordinate arrays is included.  O(n) once per world per run.
+    """
+    dataset = world.dataset
+    lats, lons = dataset.all_coordinates()
+    stride = max(1, lats.size // 1024)
+    checksum = zlib.crc32(lats[::stride].tobytes())
+    checksum = zlib.crc32(lons[::stride].tobytes(), checksum)
+    return (len(dataset), dataset.n_points, dataset.time_span, checksum)
+
+
+class EvaluationEngine:
+    """Executes :class:`ExperimentSpec` cross products, optionally in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Number of processes.  ``1`` (default) evaluates in-process;
+        ``workers > 1`` fans (world, seed, mechanism) groups out over a
+        :mod:`multiprocessing` pool.  Exceptions propagate either way.
+    cache:
+        Keep finished cells across :meth:`run` calls.  Cells are keyed by
+        (experiment input, world fingerprint, seed, mechanism spec, attack
+        spec, metric group), so re-running a spec — or a spec sharing cells
+        with an earlier one — only computes what is new.  Cells whose
+        mechanism is a live object are never cached.
+    """
+
+    def __init__(self, workers: int = 1, cache: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache_enabled = cache
+        self._row_cache: Dict[Tuple, Dict[str, Any]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- world resolution -----------------------------------------------------------
+
+    @staticmethod
+    def _resolve_worlds(
+        spec: ExperimentSpec, worlds: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        resolved: Dict[str, Any] = {}
+        for label, item in _normalize_axis(spec.worlds, "world"):
+            if worlds and label in worlds:
+                resolved[label] = worlds[label]
+            elif not isinstance(item, str):
+                resolved[label] = item
+            else:
+                resolved[label] = make_world(item)
+        return resolved
+
+    # -- cache ----------------------------------------------------------------------
+
+    def _cell_key(self, spec: ExperimentSpec, world, cell) -> Optional[Tuple]:
+        if not self.cache_enabled or not isinstance(cell["mech_item"], str):
+            return None
+        attack_item = cell["attack_item"]
+        if attack_item is not None and not isinstance(attack_item, str):
+            return None
+        return (
+            spec.input,
+            cell["world_label"],
+            _world_fingerprint(world),
+            cell["seed"],
+            cell["mech_label"],
+            cell["mech_item"],
+            cell["attack_label"],
+            attack_item,
+            cell["metric_group"],
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        worlds: Optional[Mapping[str, Any]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Evaluate the spec and return one row per cell, in cell order.
+
+        ``worlds`` maps world-axis labels to pre-built
+        :class:`~repro.datagen.mobility.SyntheticWorld` objects; labels not
+        in the mapping are built from their spec via :func:`make_world`.
+        """
+        cells = spec.cells()
+        world_objects = self._resolve_worlds(spec, worlds)
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+
+        # Serve cached cells, group the rest by (world, seed, mechanism).
+        groups: Dict[Tuple, Dict[str, Any]] = {}
+        pending_keys: Dict[int, Optional[Tuple]] = {}
+        for cell in cells:
+            world = world_objects[cell["world_label"]]
+            key = self._cell_key(spec, world, cell)
+            if key is not None and key in self._row_cache:
+                rows[cell["index"]] = dict(self._row_cache[key])
+                self.cache_hits += 1
+                continue
+            self.cache_misses += 1
+            pending_keys[cell["index"]] = key
+            group_key = (cell["world_label"], cell["seed"], cell["mech_index"])
+            group = groups.setdefault(
+                group_key,
+                {
+                    "world": world,
+                    "world_label": cell["world_label"],
+                    "seed": cell["seed"],
+                    "mech_label": cell["mech_label"],
+                    "mech_item": cell["mech_item"],
+                    "cells": [],
+                },
+            )
+            group["cells"].append(
+                (
+                    cell["index"],
+                    cell["attack_label"],
+                    cell["attack_item"],
+                    cell["metric_group"],
+                )
+            )
+
+        payloads = [
+            (
+                group["world"],
+                group["world_label"],
+                spec.input,
+                group["seed"],
+                group["mech_label"],
+                group["mech_item"],
+                group["cells"],
+            )
+            for group in groups.values()
+        ]
+
+        if payloads:
+            parallel: List[Tuple] = []
+            inline: List[Tuple] = []
+            for payload in payloads:
+                mech_ok = isinstance(payload[5], str)
+                attacks_ok = all(
+                    attack_item is None or isinstance(attack_item, str)
+                    for _, _, attack_item, _ in payload[6]
+                )
+                (parallel if mech_ok and attacks_ok else inline).append(payload)
+            if self.workers > 1 and len(parallel) > 1:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                with context.Pool(min(self.workers, len(parallel))) as pool:
+                    results = pool.map(_evaluate_group, parallel)
+                results.extend(_evaluate_group(p) for p in inline)
+            else:
+                results = [_evaluate_group(p) for p in payloads]
+            for group_rows in results:
+                for index, row in group_rows:
+                    rows[index] = row
+                    key = pending_keys.get(index)
+                    if key is not None:
+                        self._row_cache[key] = dict(row)
+
+        return [row for row in rows if row is not None]
+
+    def clear_cache(self) -> None:
+        """Drop all cached cells (and reset the hit/miss counters)."""
+        self._row_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0

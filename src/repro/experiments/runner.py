@@ -1,52 +1,37 @@
 """Experiment runners: the logic behind every benchmark of EXPERIMENTS.md.
 
-Each ``run_*`` function takes a workload (usually a
-:class:`~repro.datagen.mobility.SyntheticWorld`) plus the parameters of one
-experiment of DESIGN.md, runs the mechanisms and attacks, and returns plain
-rows (lists of dictionaries) ready to be formatted with
-:mod:`repro.experiments.formatting`.  Benchmarks stay thin: they build the
-workload, call the runner inside ``benchmark(...)`` and print the rows.
+Each ``run_*`` function is now a *thin declarative spec*: it names the
+mechanisms, attacks and metrics of one experiment of DESIGN.md as registry
+spec strings, hands the cross product to the shared
+:class:`~repro.experiments.engine.EvaluationEngine`, and projects the engine
+rows onto the experiment's historical row schema.  Benchmarks stay thin: they
+build the workload, call the runner inside ``benchmark(...)`` and print the
+rows with :mod:`repro.experiments.formatting`.
+
+Adding a mechanism to every experiment is now one registry entry plus one
+line in :data:`DEFAULT_MECHANISM_SPECS`; adding a whole experiment is one
+:class:`~repro.experiments.engine.ExperimentSpec`.
+
+``default_mechanisms`` remains as a deprecated shim over
+:data:`DEFAULT_MECHANISM_SPECS` for callers that still want a dict of live
+mechanism objects.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from ..attacks.djcluster import DjCluster, DjClusterConfig
-from ..attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
-from ..attacks.reident import FootprintReidentifier, ReidentificationConfig, Reidentifier
-from ..attacks.tracking import MultiTargetTracker, TrackingConfig
+from ..api.evaluators import ground_truth_pois
+from ..api.registry import make_mechanism
 from ..baselines.base import PublicationMechanism
-from ..baselines.geo_indistinguishability import GeoIndConfig, GeoIndistinguishabilityMechanism
-from ..baselines.paper import FullPipelineMechanism, SpeedSmoothingMechanism
-from ..baselines.trivial import DownsamplingMechanism, IdentityMechanism, PseudonymizationMechanism
-from ..baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
-from ..core.pipeline import AnonymizerConfig
-from ..core.speed_smoothing import SpeedSmoothingConfig
-from ..core.trajectory import MobilityDataset
 from ..datagen.mobility import SyntheticWorld
-from ..metrics.privacy import (
-    empirical_mixing_entropy_bits,
-    majority_owner,
-    poi_retrieval_pooled,
-    tracking_success,
-)
-from ..metrics.utility import (
-    area_coverage,
-    dataset_spatial_distortion,
-    point_retention,
-    range_query_distortion,
-    trip_length_error,
-)
-from ..mixzones.detection import MixZoneDetectionConfig
-from ..mixzones.swapping import SwapConfig, SwapPolicy
-from .workloads import split_train_publish
+from ..mixzones.swapping import SwapPolicy
+from .engine import EvaluationEngine, ExperimentSpec
 
 __all__ = [
+    "DEFAULT_MECHANISM_SPECS",
     "default_mechanisms",
     "ground_truth_pois",
     "run_poi_retrieval",
@@ -60,42 +45,65 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------------
-# Mechanism suites and ground truth
+# Mechanism suites
 # ---------------------------------------------------------------------------
+
+#: The standard comparison suite used by E1-E3 and E6, as registry specs:
+#: the raw-publication anchor, the paper's smoothing at two spacing values,
+#: the full pipeline, Geo-Indistinguishability at two privacy levels,
+#: Wait-For-Me, and naive down-sampling.  Seeds are injected per experiment
+#: by the engine's ``seeds`` axis.
+DEFAULT_MECHANISM_SPECS: Dict[str, str] = {
+    "raw": "identity",
+    "smoothing-eps100": "smoothing:epsilon_m=100.0",
+    "smoothing-eps200": "smoothing:epsilon_m=200.0",
+    "paper-full": "promesse:swap=coin_flip",
+    "geo-ind-strong": f"geo-ind:epsilon_per_m={math.log(2.0) / 200.0!r}",
+    "geo-ind-weak": f"geo-ind:epsilon_per_m={math.log(10.0) / 200.0!r}",
+    "wait4me-k4-d500": "wait4me:k=4,delta_m=500.0",
+    "downsample-x10": "downsampling:factor=10",
+}
 
 
 def default_mechanisms(seed: int = 0) -> Dict[str, PublicationMechanism]:
-    """The standard comparison suite used by E1-E3 and E6.
+    """Deprecated: the comparison suite as live legacy mechanism objects.
 
-    Includes the raw-publication anchor, the paper's smoothing at two spacing
-    values, the full pipeline, Geo-Indistinguishability at two privacy levels,
-    Wait-For-Me, and naive down-sampling.
+    Prefer :data:`DEFAULT_MECHANISM_SPECS` (registry specs the evaluation
+    engine consumes directly) or ``make_mechanism(spec)`` for a single
+    mechanism under the unified API.
     """
+    warnings.warn(
+        "default_mechanisms() is deprecated; use DEFAULT_MECHANISM_SPECS "
+        "with ExperimentSpec/EvaluationEngine, or repro.api.make_mechanism()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return {
-        "raw": IdentityMechanism(),
-        "smoothing-eps100": SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=100.0)),
-        "smoothing-eps200": SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=200.0)),
-        "paper-full": FullPipelineMechanism(
-            AnonymizerConfig(swapping=SwapConfig(policy=SwapPolicy.COIN_FLIP, seed=seed))
-        ),
-        "geo-ind-strong": GeoIndistinguishabilityMechanism(
-            GeoIndConfig(epsilon_per_m=math.log(2.0) / 200.0, seed=seed)
-        ),
-        "geo-ind-weak": GeoIndistinguishabilityMechanism(
-            GeoIndConfig(epsilon_per_m=math.log(10.0) / 200.0, seed=seed)
-        ),
-        "wait4me-k4-d500": Wait4MeMechanism(Wait4MeConfig(k=4, delta_m=500.0, seed=seed)),
-        "downsample-x10": DownsamplingMechanism(factor=10),
+        name: make_mechanism(spec, defaults={"seed": seed}, wrap=False)
+        for name, spec in DEFAULT_MECHANISM_SPECS.items()
     }
 
 
-def ground_truth_pois(world: SyntheticWorld, min_stay_s: float = 900.0) -> List[Tuple[float, float]]:
-    """Distinct ground-truth POI locations visited long enough to be attackable."""
-    seen: Dict[str, Tuple[float, float]] = {}
-    for user_id in world.user_ids:
-        for poi in world.true_pois_of(user_id, min_stay_s=min_stay_s):
-            seen[poi.poi_id] = (poi.lat, poi.lon)
-    return list(seen.values())
+#: Shared engine: per-cell caching makes repeated runner calls on the same
+#: world (e.g. a benchmark re-run) incremental.
+_ENGINE = EvaluationEngine(workers=1, cache=True)
+
+MechanismMap = Mapping[str, Union[str, PublicationMechanism]]
+
+
+def _mechanism_axis(mechanisms: Optional[MechanismMap]) -> List[Tuple[str, object]]:
+    if mechanisms is None:
+        return list(DEFAULT_MECHANISM_SPECS.items())
+    return [(name, mechanism) for name, mechanism in mechanisms.items()]
+
+
+def _project(rows: Sequence[Dict[str, object]], mapping) -> List[Dict[str, object]]:
+    """Project engine rows onto a legacy row schema (ordered key -> source)."""
+    return [{key: source(row) for key, source in mapping} for row in rows]
+
+
+def _col(name: str):
+    return lambda row: row[name]
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +113,7 @@ def ground_truth_pois(world: SyntheticWorld, min_stay_s: float = 900.0) -> List[
 
 def run_poi_retrieval(
     world: SyntheticWorld,
-    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+    mechanisms: Optional[MechanismMap] = None,
     attack: str = "staypoint",
     match_distance_m: float = 250.0,
     min_stay_s: float = 900.0,
@@ -118,67 +126,38 @@ def run_poi_retrieval(
     published identifiers may be pseudonymous or swapped.
 
     When ``adaptive_attacker`` is true (default), the attack parameters are
-    scaled to each mechanism's public noise level: a Geo-Indistinguishability
-    release announces its ``epsilon``, so a realistic attacker widens the
-    clustering diameter to a few times the expected noise radius before
-    searching for stays — this is how Primault et al. (MOST'14) showed that
-    the mechanism leaves the majority of POIs recoverable.  Non-noising
-    mechanisms are attacked with the standard parameters.
+    scaled to each mechanism's *announced* noise level
+    (``PublicationResult.properties``): a Geo-Indistinguishability release
+    announces its ``epsilon``, so a realistic attacker widens the clustering
+    diameter to a few times the expected noise radius before searching for
+    stays — this is how Primault et al. (MOST'14) showed that the mechanism
+    leaves the majority of POIs recoverable.
     """
-    mechanisms = mechanisms or default_mechanisms()
-    truth = ground_truth_pois(world, min_stay_s=min_stay_s)
-
-    rows: List[Dict[str, object]] = []
-    for name, mechanism in mechanisms.items():
-        published = mechanism.publish(world.dataset)
-        diameter = _attack_diameter(mechanism) if adaptive_attacker else 200.0
-        extractor = _build_extractor(attack, min_stay_s, diameter)
-        extracted = [poi for pois in extractor(published).values() for poi in pois]
-        score = poi_retrieval_pooled(truth, extracted, match_distance_m=match_distance_m)
-        rows.append(
-            {
-                "mechanism": name,
-                "attack": attack,
-                "precision": score.precision,
-                "recall": score.recall,
-                "f_score": score.f_score,
-                "n_true_pois": score.n_true,
-                "n_extracted": score.n_extracted,
-            }
-        )
-    return rows
-
-
-def _attack_diameter(mechanism: PublicationMechanism, base_m: float = 200.0) -> float:
-    """Clustering diameter an informed attacker would use against ``mechanism``.
-
-    The planar Laplace noise of Geo-Indistinguishability has mean radius
-    ``2 / epsilon``; two independently noised reports of the same place are on
-    average about twice that apart, so the attacker clusters with a diameter of
-    the standard value plus four expected noise radii.
-    """
-    if isinstance(mechanism, GeoIndistinguishabilityMechanism):
-        noise_radius = 2.0 / mechanism.config.epsilon_per_m
-        return base_m + 4.0 * noise_radius
-    return base_m
-
-
-def _build_extractor(
-    attack: str, min_stay_s: float, max_diameter_m: float = 200.0
-) -> Callable[[MobilityDataset], Dict[str, list]]:
-    if attack == "staypoint":
-        extractor = PoiExtractor(
-            PoiExtractionConfig(
-                min_duration_s=min_stay_s,
-                max_diameter_m=max_diameter_m,
-                merge_distance_m=max_diameter_m / 2.0,
-            )
-        )
-        return extractor.extract_dataset
-    if attack == "djcluster":
-        clusterer = DjCluster(DjClusterConfig(eps_m=max(100.0, max_diameter_m / 2.0)))
-        return clusterer.extract_dataset
-    raise ValueError(f"unknown attack {attack!r}; choose 'staypoint' or 'djcluster'")
+    if attack not in ("staypoint", "djcluster"):
+        raise ValueError(f"unknown attack {attack!r}; choose 'staypoint' or 'djcluster'")
+    attack_spec = (
+        f"poi-retrieval:algorithm={attack},match_distance_m={match_distance_m!r},"
+        f"min_stay_s={min_stay_s!r},adaptive={str(bool(adaptive_attacker)).lower()}"
+    )
+    spec = ExperimentSpec(
+        name="e1-poi-retrieval",
+        mechanisms=_mechanism_axis(mechanisms),
+        attacks=[(attack, attack_spec)],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("mechanism", _col("mechanism")),
+            ("attack", _col("attack")),
+            ("precision", _col("precision")),
+            ("recall", _col("recall")),
+            ("f_score", _col("f_score")),
+            ("n_true_pois", _col("n_true_pois")),
+            ("n_extracted", _col("n_extracted")),
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -188,26 +167,34 @@ def _build_extractor(
 
 def run_spatial_distortion(
     world: SyntheticWorld,
-    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+    mechanisms: Optional[MechanismMap] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E2: spatial distortion and point retention per mechanism."""
-    mechanisms = mechanisms or default_mechanisms()
-    rows: List[Dict[str, object]] = []
-    for name, mechanism in mechanisms.items():
-        published = mechanism.publish(world.dataset)
-        summary = dataset_spatial_distortion(world.dataset, published, match_by_user=False)
-        rows.append(
-            {
-                "mechanism": name,
-                "mean_m": summary.mean,
-                "median_m": summary.median,
-                "p95_m": summary.p95,
-                "max_m": summary.max,
-                "point_retention": point_retention(world.dataset, published),
-                "trip_length_error": trip_length_error(world.dataset, published),
-            }
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="e2-spatial-distortion",
+        mechanisms=_mechanism_axis(mechanisms),
+        metrics=[
+            (
+                "spatial-distortion:match_by_user=false",
+                "point-retention",
+                "trip-length-error",
+            )
+        ],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("mechanism", _col("mechanism")),
+            ("mean_m", _col("mean_m")),
+            ("median_m", _col("median_m")),
+            ("p95_m", _col("p95_m")),
+            ("max_m", _col("max_m")),
+            ("point_retention", _col("point_retention")),
+            ("trip_length_error", _col("trip_length_error")),
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -217,26 +204,27 @@ def run_spatial_distortion(
 
 def run_area_coverage(
     world: SyntheticWorld,
-    mechanisms: Optional[Mapping[str, PublicationMechanism]] = None,
+    mechanisms: Optional[MechanismMap] = None,
     cell_sizes_m: Sequence[float] = (100.0, 200.0, 400.0, 800.0),
 ) -> List[Dict[str, object]]:
     """Experiment E3: cell-cover F-score per mechanism and cell size."""
-    mechanisms = mechanisms or default_mechanisms()
-    rows: List[Dict[str, object]] = []
-    for name, mechanism in mechanisms.items():
-        published = mechanism.publish(world.dataset)
-        for cell_size in cell_sizes_m:
-            score = area_coverage(world.dataset, published, cell_size_m=cell_size)
-            rows.append(
-                {
-                    "mechanism": name,
-                    "cell_size_m": cell_size,
-                    "precision": score.precision,
-                    "recall": score.recall,
-                    "f_score": score.f_score,
-                }
-            )
-    return rows
+    spec = ExperimentSpec(
+        name="e3-area-coverage",
+        mechanisms=_mechanism_axis(mechanisms),
+        metrics=[f"area-coverage:cell_size_m={float(size)!r}" for size in cell_sizes_m],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("mechanism", _col("mechanism")),
+            ("cell_size_m", _col("cell_size_m")),
+            ("precision", _col("precision")),
+            ("recall", _col("recall")),
+            ("f_score", _col("f_score")),
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -261,91 +249,40 @@ def run_reidentification(
     POIs are hidden) and the spatial-footprint attacker (only defeated when
     user segments are actually mixed by the swapping step).
     """
-    training, publish = split_train_publish(world, train_fraction)
-    poi_attacker = Reidentifier(ReidentificationConfig(match_distance_m=match_distance_m))
-    poi_knowledge = poi_attacker.knowledge_from_dataset(training)
-    footprint_attacker = FootprintReidentifier()
-    footprint_knowledge = footprint_attacker.knowledge_from_dataset(
-        training, bbox=world.dataset.bbox.expanded(500.0)
-    )
-
-    def score_both(published: MobilityDataset, truth: Dict[str, str]) -> Tuple[float, float]:
-        poi_rate = poi_attacker.attack(published, poi_knowledge).accuracy(truth)
-        footprint_rate = footprint_attacker.attack(published, footprint_knowledge).accuracy(truth)
-        return poi_rate, footprint_rate
-
-    rows: List[Dict[str, object]] = []
-
-    # Variant 1: pseudonymisation only (the naive practice the paper criticises).
-    published = PseudonymizationMechanism(seed=seed).publish(publish)
-    truth = _pseudonym_truth(publish, published)
-    poi_rate, footprint_rate = score_both(published, truth)
-    rows.append(_reident_row("pseudonyms-only", poi_rate, footprint_rate, len(published)))
-
-    # Variant 2: speed smoothing, then pseudonyms (first mechanism alone).
-    smoothed = SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=100.0)).publish(publish)
-    published = PseudonymizationMechanism(seed=seed).publish(smoothed)
-    truth = _pseudonym_truth(smoothed, published)
-    poi_rate, footprint_rate = score_both(published, truth)
-    rows.append(_reident_row("smoothing+pseudonyms", poi_rate, footprint_rate, len(published)))
-
-    # Variants 3-5: the full pipeline under each swap policy.
+    variants: List[Tuple[str, str]] = [
+        ("pseudonyms-only", f"pseudonyms:seed={seed}"),
+        ("smoothing+pseudonyms", f"smoothing:epsilon_m=100.0|pseudonyms:seed={seed}"),
+    ]
     for policy in (SwapPolicy.NEVER, SwapPolicy.COIN_FLIP, SwapPolicy.ALWAYS):
-        mechanism = FullPipelineMechanism(
-            AnonymizerConfig(swapping=SwapConfig(policy=policy, seed=seed))
-        )
-        published = mechanism.publish(publish)
-        report = mechanism.last_report
-        truth = {
-            label: majority_owner(segments)
-            for label, segments in report.segment_ownership.items()
-            if majority_owner(segments) is not None
-        }
-        poi_rate, footprint_rate = score_both(published, truth)
-        rows.append(
-            _reident_row(
+        variants.append(
+            (
                 f"paper-full(swap={policy.value})",
-                poi_rate,
-                footprint_rate,
-                len(published),
-                n_zones=report.n_zones,
-                n_swaps=report.n_swaps,
+                f"promesse:swap={policy.value},seed={seed}",
             )
         )
-    return rows
-
-
-def _pseudonym_truth(
-    before: MobilityDataset, published: MobilityDataset
-) -> Dict[str, str]:
-    """Recover the pseudonym -> user mapping by matching identical trajectories."""
-    truth: Dict[str, str] = {}
-    for traj in published:
-        for original in before:
-            if len(original) == len(traj) and np.array_equal(
-                np.asarray(original.timestamps), np.asarray(traj.timestamps)
-            ):
-                truth[traj.user_id] = original.user_id
-                break
-    return truth
-
-
-def _reident_row(
-    variant: str,
-    poi_rate: float,
-    footprint_rate: float,
-    n_published: int,
-    n_zones: int = 0,
-    n_swaps: int = 0,
-) -> Dict[str, object]:
-    return {
-        "variant": variant,
-        "poi_attack_rate": poi_rate,
-        "footprint_attack_rate": footprint_rate,
-        "published_users": n_published,
-        "n_zones": n_zones,
-        "n_swaps": n_swaps,
-    }
+    attack_spec = (
+        f"reident:train_fraction={train_fraction!r},"
+        f"match_distance_m={match_distance_m!r}"
+    )
+    spec = ExperimentSpec(
+        name="e4-reidentification",
+        mechanisms=variants,
+        attacks=[("reident", attack_spec)],
+        worlds=["world"],
+        input=f"publish-half:train_fraction={train_fraction!r}",
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("variant", _col("mechanism")),
+            ("poi_attack_rate", _col("poi_attack_rate")),
+            ("footprint_attack_rate", _col("footprint_attack_rate")),
+            ("published_users", _col("published_users")),
+            ("n_zones", _col("n_zones")),
+            ("n_swaps", _col("n_swaps")),
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -360,31 +297,33 @@ def run_tracking(
     seed: int = 0,
 ) -> List[Dict[str, object]]:
     """Experiment E5: multi-target tracking success versus mix-zone radius."""
-    rows: List[Dict[str, object]] = []
-    tracker = MultiTargetTracker(TrackingConfig())
-    for radius in zone_radii_m:
-        mechanism = FullPipelineMechanism(
-            AnonymizerConfig(
-                detection=MixZoneDetectionConfig(radius_m=radius),
-                swapping=SwapConfig(policy=policy, seed=seed),
+    radii = [float(radius) for radius in zone_radii_m]
+    spec = ExperimentSpec(
+        name="e5-tracking",
+        mechanisms=[
+            (
+                f"promesse-r{int(radius)}",
+                f"promesse:zone_radius_m={radius!r},swap={policy.value},seed={seed}",
             )
-        )
-        published = mechanism.publish(world.dataset)
-        report = mechanism.last_report
-        linkages = tracker.link_zones(published, [r.zone for r in report.swap_records])
-        success = tracking_success(linkages, report.swap_records)
-        rows.append(
-            {
-                "zone_radius_m": radius,
-                "swap_policy": policy.value,
-                "n_zones": report.n_zones,
-                "n_swapped_zones": report.n_swaps,
-                "tracking_success": success,
-                "mixing_entropy_bits": empirical_mixing_entropy_bits(report.swap_records),
-                "suppressed_points": report.suppressed_points,
-            }
-        )
-    return rows
+            for radius in radii
+        ],
+        attacks=[("tracking", "tracking")],
+        metrics=[("swap-stats", "mixing-entropy")],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return [
+        {
+            "zone_radius_m": radius,
+            "swap_policy": policy.value,
+            "n_zones": row["n_zones"],
+            "n_swapped_zones": row["n_swaps"],
+            "tracking_success": row["tracking_success"],
+            "mixing_entropy_bits": row["mixing_entropy_bits"],
+            "suppressed_points": row["suppressed_points"],
+        }
+        for radius, row in zip(radii, rows)
+    ]
 
 
 def run_mixzone_stats(
@@ -392,25 +331,26 @@ def run_mixzone_stats(
     zone_radii_m: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
 ) -> List[Dict[str, object]]:
     """Experiment E8: how many natural mix-zones exist at each radius."""
-    from ..mixzones.detection import MixZoneDetector
-
-    rows: List[Dict[str, object]] = []
-    for radius in zone_radii_m:
-        detector = MixZoneDetector(MixZoneDetectionConfig(radius_m=radius))
-        zones = detector.detect(world.dataset)
-        sizes = [z.n_participants for z in zones] or [0]
-        rows.append(
-            {
-                "zone_radius_m": radius,
-                "n_zones": len(zones),
-                "mean_participants": float(np.mean(sizes)),
-                "max_participants": int(np.max(sizes)),
-                "mean_entropy_bits": float(np.mean([z.anonymity_set_entropy_bits() for z in zones]))
-                if zones
-                else 0.0,
-            }
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="e8-mixzone-stats",
+        mechanisms=["identity"],
+        attacks=[
+            (f"zone-census-r{int(radius)}", f"zone-census:radius_m={float(radius)!r}")
+            for radius in zone_radii_m
+        ],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("zone_radius_m", _col("zone_radius_m")),
+            ("n_zones", _col("n_zones")),
+            ("mean_participants", _col("mean_participants")),
+            ("max_participants", _col("max_participants")),
+            ("mean_entropy_bits", _col("mean_entropy_bits")),
+        ],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -429,36 +369,54 @@ def run_tradeoff_frontier(
     setting, the privacy achieved (POI retrieval F-score, lower is better) and
     the utility cost (median spatial distortion in meters plus area coverage).
     """
-    sweeps: List[Tuple[str, PublicationMechanism]] = []
+    sweeps: List[Tuple[str, str]] = []
     for epsilon_m in (50.0, 100.0, 200.0, 400.0):
         sweeps.append(
-            (f"smoothing-eps{int(epsilon_m)}", SpeedSmoothingMechanism(SpeedSmoothingConfig(epsilon_m=epsilon_m)))
+            (f"smoothing-eps{int(epsilon_m)}", f"smoothing:epsilon_m={epsilon_m!r}")
         )
-    for label, ratio in (("l2-200m", math.log(2.0) / 200.0), ("l4-200m", math.log(4.0) / 200.0), ("l10-200m", math.log(10.0) / 200.0)):
-        sweeps.append((f"geo-ind-{label}", GeoIndistinguishabilityMechanism(GeoIndConfig(epsilon_per_m=ratio, seed=seed))))
+    for label, ratio in (
+        ("l2-200m", math.log(2.0) / 200.0),
+        ("l4-200m", math.log(4.0) / 200.0),
+        ("l10-200m", math.log(10.0) / 200.0),
+    ):
+        sweeps.append(
+            (f"geo-ind-{label}", f"geo-ind:epsilon_per_m={ratio!r},seed={seed}")
+        )
     for k, delta in ((2, 250.0), (4, 500.0), (8, 1000.0)):
-        sweeps.append((f"wait4me-k{k}-d{int(delta)}", Wait4MeMechanism(Wait4MeConfig(k=k, delta_m=delta, seed=seed))))
-    sweeps.append(("paper-full", FullPipelineMechanism(AnonymizerConfig(swapping=SwapConfig(seed=seed)))))
-    sweeps.append(("raw", IdentityMechanism()))
-
-    truth = ground_truth_pois(world)
-    extractor = PoiExtractor(PoiExtractionConfig())
-    rows: List[Dict[str, object]] = []
-    for name, mechanism in sweeps:
-        published = mechanism.publish(world.dataset)
-        extracted = [poi for pois in extractor.extract_dataset(published).values() for poi in pois]
-        poi_score = poi_retrieval_pooled(truth, extracted, match_distance_m=match_distance_m)
-        distortion = dataset_spatial_distortion(world.dataset, published, match_by_user=False)
-        coverage = area_coverage(world.dataset, published, cell_size_m=200.0)
-        rows.append(
-            {
-                "mechanism": name,
-                "poi_f_score": poi_score.f_score,
-                "poi_recall": poi_score.recall,
-                "median_distortion_m": distortion.median,
-                "area_coverage_f": coverage.f_score,
-                "point_retention": point_retention(world.dataset, published),
-                "range_query_error": range_query_distortion(world.dataset, published, n_queries=100, seed=seed),
-            }
+        sweeps.append(
+            (f"wait4me-k{k}-d{int(delta)}", f"wait4me:k={k},delta_m={delta!r},seed={seed}")
         )
-    return rows
+    sweeps.append(("paper-full", f"promesse:swap=coin_flip,seed={seed}"))
+    sweeps.append(("raw", "identity"))
+
+    attack_spec = (
+        f"poi-retrieval:algorithm=staypoint,match_distance_m={match_distance_m!r},"
+        "adaptive=false,prefix=poi_"
+    )
+    spec = ExperimentSpec(
+        name="e6-tradeoff-frontier",
+        mechanisms=sweeps,
+        attacks=[("staypoint", attack_spec)],
+        metrics=[
+            (
+                "spatial-distortion:match_by_user=false",
+                "area-coverage:cell_size_m=200.0,prefix=cov_",
+                "point-retention",
+                f"range-query:n_queries=100,seed={seed}",
+            )
+        ],
+        worlds=["world"],
+    )
+    rows = _ENGINE.run(spec, worlds={"world": world})
+    return _project(
+        rows,
+        [
+            ("mechanism", _col("mechanism")),
+            ("poi_f_score", _col("poi_f_score")),
+            ("poi_recall", _col("poi_recall")),
+            ("median_distortion_m", _col("median_m")),
+            ("area_coverage_f", _col("cov_f_score")),
+            ("point_retention", _col("point_retention")),
+            ("range_query_error", _col("range_query_error")),
+        ],
+    )

@@ -240,3 +240,41 @@ def empirical_mixing_entropy_bits(records: Sequence[SwapRecord]) -> float:
     return float(
         np.mean([permutation_entropy_bits(len(r.labels_before)) for r in records])
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry adapters: provenance-based privacy metrics
+# ---------------------------------------------------------------------------
+#
+# These read the AnonymizationReport carried by a PublicationResult; on
+# mechanisms without provenance they degrade to zeros, which is the honest
+# reading (no mix-zone mixing happened).
+
+from ..api.registry import register_metric
+
+
+@register_metric("swap-stats")
+def _swap_stats_metric():
+    """Mix-zone counts from the publication provenance."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        report = getattr(result, "report", None)
+        return {
+            "n_zones": report.n_zones if report is not None else 0,
+            "n_swaps": report.n_swaps if report is not None else 0,
+            "suppressed_points": report.suppressed_points if report is not None else 0,
+        }
+
+    return compute
+
+
+@register_metric("mixing-entropy")
+def _mixing_entropy_metric():
+    """Average theoretical mixing entropy over traversed zones (bits)."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        report = getattr(result, "report", None)
+        records = report.swap_records if report is not None else []
+        return {"mixing_entropy_bits": empirical_mixing_entropy_bits(records)}
+
+    return compute

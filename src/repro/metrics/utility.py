@@ -303,3 +303,96 @@ def point_retention(original: MobilityDataset, published: MobilityDataset) -> fl
     if original.n_points == 0:
         return 0.0
     return published.n_points / original.n_points
+
+
+# ---------------------------------------------------------------------------
+# Registry adapters: metrics as engine-pluggable callables
+# ---------------------------------------------------------------------------
+#
+# A registered metric is a callable ``metric(original, result) -> columns``
+# where ``result`` is a PublicationResult (or a bare dataset).  Utility
+# metrics only need the published dataset.
+
+from ..api.registry import register_metric
+
+
+def _published_dataset(result) -> MobilityDataset:
+    return getattr(result, "dataset", result)
+
+
+@register_metric("spatial-distortion", aliases=("distortion",))
+def _spatial_distortion_metric(match_by_user: bool = False):
+    """Point-to-path distortion summary: ``mean_m/median_m/p95_m/max_m``."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        summary = dataset_spatial_distortion(
+            original, _published_dataset(result), match_by_user=match_by_user
+        )
+        return {
+            "mean_m": summary.mean,
+            "median_m": summary.median,
+            "p95_m": summary.p95,
+            "max_m": summary.max,
+        }
+
+    return compute
+
+
+@register_metric("area-coverage", aliases=("coverage",))
+def _area_coverage_metric(cell_size_m: float = 200.0):
+    """Grid-cell cover scores at one cell size, keyed by the cell size used."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        score = area_coverage(
+            original, _published_dataset(result), cell_size_m=cell_size_m
+        )
+        return {
+            "cell_size_m": cell_size_m,
+            "precision": score.precision,
+            "recall": score.recall,
+            "f_score": score.f_score,
+        }
+
+    return compute
+
+
+@register_metric("point-retention", aliases=("retention",))
+def _point_retention_metric():
+    """Fraction of points still published at all."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        return {"point_retention": point_retention(original, _published_dataset(result))}
+
+    return compute
+
+
+@register_metric("trip-length-error")
+def _trip_length_error_metric():
+    """Relative error of the per-user travelled distance."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        return {
+            "trip_length_error": trip_length_error(original, _published_dataset(result))
+        }
+
+    return compute
+
+
+@register_metric("range-query", aliases=("range-query-distortion",))
+def _range_query_metric(
+    n_queries: int = 200, query_size_m: float = 500.0, seed: int = 0
+):
+    """Mean relative error of random spatial count queries."""
+
+    def compute(original: MobilityDataset, result) -> Dict[str, object]:
+        return {
+            "range_query_error": range_query_distortion(
+                original,
+                _published_dataset(result),
+                n_queries=n_queries,
+                query_size_m=query_size_m,
+                seed=seed,
+            )
+        }
+
+    return compute
