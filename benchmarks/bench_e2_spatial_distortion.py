@@ -14,26 +14,69 @@ which the assertion documents.
 
 from __future__ import annotations
 
+import time
+
 from repro.attacks.poi_extraction import PoiExtractor
 from repro.core.speed_smoothing import smooth_trajectory_naive
-from repro.experiments.formatting import format_table
-from repro.experiments.runner import run_spatial_distortion
+from repro.experiments.formatting import format_table, summarize_over_seeds
+from repro.experiments.runner import (
+    DEFAULT_MECHANISM_SPECS,
+    DEFAULT_SEED_SWEEP,
+    run_spatial_distortion,
+)
 
 
 HEADERS = ["mechanism", "mean_m", "median_m", "p95_m", "max_m", "point_retention", "trip_length_error"]
 
 
-def test_e2_spatial_distortion(benchmark, eval_world):
-    rows = benchmark.pedantic(lambda: run_spatial_distortion(eval_world), rounds=1, iterations=1)
+def test_e2_spatial_distortion(benchmark, eval_world, bench_artifact):
+    timer = {}
+
+    def timed():
+        start = time.perf_counter()
+        rows = run_spatial_distortion(eval_world)
+        timer["wall_s"] = time.perf_counter() - start
+        return rows
+
+    rows = benchmark.pedantic(timed, rounds=1, iterations=1)
     print()
     print(format_table(HEADERS, [[r[h] for h in HEADERS] for r in rows],
                        title="E2 - spatial distortion per mechanism (meters)"))
+    bench_artifact(
+        "e2_spatial_distortion",
+        timings={"run_spatial_distortion": {"wall_s": timer["wall_s"]}},
+        rows=rows,
+    )
 
     by_name = {r["mechanism"]: r for r in rows}
     assert by_name["raw"]["median_m"] == 0.0
     # Time distortion keeps spatial error well below the location-noising baselines.
     assert by_name["smoothing-eps100"]["median_m"] < by_name["geo-ind-strong"]["median_m"] / 2.0
     assert by_name["paper-full"]["median_m"] < by_name["wait4me-k4-d500"]["median_m"]
+
+
+def test_e2_seed_sweep_variance(eval_world):
+    """Mean ± 95 % CI of the seeded mechanisms over the standard seed sweep.
+
+    The per-cell engine cache makes the sweep incremental: seed 0 cells are
+    shared with the single-seed table above.
+    """
+    sweep_mechanisms = {
+        "geo-ind-strong": DEFAULT_MECHANISM_SPECS["geo-ind-strong"],
+        "wait4me-k4-d500": DEFAULT_MECHANISM_SPECS["wait4me-k4-d500"],
+        "paper-full": DEFAULT_MECHANISM_SPECS["paper-full"],
+    }
+    rows = run_spatial_distortion(eval_world, sweep_mechanisms, seeds=DEFAULT_SEED_SWEEP)
+    summary = summarize_over_seeds(rows, group_by=("mechanism",))
+    headers = list(summary[0].keys())
+    print()
+    print(format_table(headers, [[s[h] for h in headers] for s in summary],
+                       title=f"E2 - distortion variance over seeds {list(DEFAULT_SEED_SWEEP)}"))
+    assert all(s["n_seeds"] == len(DEFAULT_SEED_SWEEP) for s in summary)
+    # The noise mechanisms vary across seeds; the CI half-width must be finite
+    # and small relative to the mean.
+    geo_mean, geo_half = {s["mechanism"]: s for s in summary}["geo-ind-strong"]["median_m"]
+    assert geo_half < geo_mean
 
 
 def test_e2_ablation_naive_resampling(benchmark, eval_world):

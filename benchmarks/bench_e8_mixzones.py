@@ -9,6 +9,8 @@ no artificial distortion is needed to create them.
 
 from __future__ import annotations
 
+import time
+
 from repro.experiments.formatting import format_table
 from repro.experiments.runner import run_mixzone_stats
 
@@ -16,13 +18,31 @@ HEADERS = ["zone_radius_m", "n_zones", "mean_participants", "max_participants", 
 RADII = (50.0, 100.0, 200.0, 400.0)
 
 
-def test_e8_mixzone_statistics(benchmark, crossing_eval_world):
-    rows = benchmark.pedantic(
-        lambda: run_mixzone_stats(crossing_eval_world, zone_radii_m=RADII), rounds=1, iterations=1
-    )
+def test_e8_mixzone_statistics(benchmark, crossing_eval_world, bench_artifact):
+    timer = {}
+
+    def timed():
+        start = time.perf_counter()
+        rows = run_mixzone_stats(crossing_eval_world, zone_radii_m=RADII)
+        timer["wall_s"] = time.perf_counter() - start
+        return rows
+
+    rows = benchmark.pedantic(timed, rounds=1, iterations=1)
     print()
     print(format_table(HEADERS, [[r[h] for h in HEADERS] for r in rows],
                        title="E8 - natural mix-zones vs radius (crossing-rich workload)"))
+    n_points = crossing_eval_world.dataset.n_points
+    bench_artifact(
+        "e8_mixzones",
+        timings={
+            "run_mixzone_stats": {
+                "wall_s": timer["wall_s"],
+                "points_per_s": len(RADII) * n_points / timer["wall_s"],
+            }
+        },
+        rows=rows,
+        extra={"radii_m": list(RADII), "workload_points": n_points},
+    )
 
     assert all(r["n_zones"] > 0 for r in rows), "natural crossings must exist at every radius"
     assert all(r["mean_participants"] >= 2.0 for r in rows)

@@ -1,0 +1,107 @@
+"""Hot-path benchmark: mix-zone detection and Wait-For-Me publication.
+
+The two slowest cells of an engine run (ROADMAP), rewritten in this PR on the
+columnar kernel layer.  This bench times them directly — no attack or metric
+overhead — and records throughput plus the speedup against the committed
+pre-refactor baselines in ``BENCH_hotpaths.json``.
+
+The pre-PR numbers below were measured on the implementation at commit
+63d6381 (Python double loops over spatial bins for detection; per-pair
+synchronized-distance reductions for W4M clustering), best of several runs on
+the same workloads this bench generates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
+from repro.experiments.formatting import format_table
+from repro.mixzones.detection import detect_mix_zones
+
+#: Pre-refactor wall seconds, by (cell, scale).  Scales not measured before
+#: the refactor have no baseline and report speedup None.
+PRE_REFACTOR_S = {
+    ("detect_mix_zones", "medium"): 0.977,
+    ("detect_mix_zones", "large"): 19.54,
+    ("wait4me_publish", "medium"): 0.0402,
+    ("wait4me_publish", "large"): 0.223,
+}
+
+
+def _best_of(fn, repeats: int = 3):
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _cell_timing(cell: str, scale: str, wall_s: float, points: int) -> dict:
+    before = PRE_REFACTOR_S.get((cell, scale))
+    return {
+        "wall_s": wall_s,
+        # None (not inf/NaN) when the timer under-resolves: the artifact
+        # writer emits strict JSON only.
+        "points_per_s": points / wall_s if wall_s > 0 else None,
+        "pre_refactor_wall_s": before,
+        "speedup": (before / wall_s) if before and wall_s > 0 else None,
+    }
+
+
+def test_hotpaths(eval_world, crossing_eval_world, bench_artifact, evaluation_scale):
+    crossing = crossing_eval_world.dataset
+    standard = eval_world.dataset
+
+    zones, mixzone_s = _best_of(lambda: detect_mix_zones(crossing, radius_m=100.0))
+    mechanism = Wait4MeMechanism(Wait4MeConfig(k=4, delta_m=500.0))
+    published, wait4me_s = _best_of(lambda: mechanism.publish(standard), repeats=5)
+
+    timings = {
+        "detect_mix_zones": _cell_timing(
+            "detect_mix_zones", evaluation_scale, mixzone_s, crossing.n_points
+        ),
+        "wait4me_publish": _cell_timing(
+            "wait4me_publish", evaluation_scale, wait4me_s, standard.n_points
+        ),
+    }
+    rows = [
+        {
+            "cell": cell,
+            "wall_s": values["wall_s"],
+            "points_per_s": values["points_per_s"],
+            "speedup_vs_pre_refactor": values["speedup"],
+        }
+        for cell, values in timings.items()
+    ]
+    path = bench_artifact(
+        "hotpaths",
+        timings=timings,
+        rows=rows,
+        baseline={
+            "pre_refactor": {
+                cell: seconds
+                for (cell, scale), seconds in PRE_REFACTOR_S.items()
+                if scale == evaluation_scale
+            },
+            "measured_at_commit": "pre-PR (63d6381)",
+        },
+        extra={
+            "workload": {
+                "crossing_points": crossing.n_points,
+                "standard_points": standard.n_points,
+            }
+        },
+    )
+    print()
+    print(format_table(
+        ["cell", "wall_s", "points_per_s", "speedup_vs_pre_refactor"],
+        [[r[h] for h in ("cell", "wall_s", "points_per_s", "speedup_vs_pre_refactor")] for r in rows],
+        title=f"Hot paths at scale={evaluation_scale} (artifact: {path})",
+    ))
+
+    # Output sanity at any scale; zone existence needs enough users to cross.
+    if evaluation_scale not in ("tiny",):
+        assert zones, "the crossing-rich workload must contain mix-zones"
+        assert len(published) > 0, "wait4me must publish at least one group"

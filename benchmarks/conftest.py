@@ -3,17 +3,110 @@
 Each benchmark regenerates one table or figure of EXPERIMENTS.md.  Workloads
 are generated once per session; every bench prints the rows it measured so the
 pytest output doubles as the reproduced evaluation tables.
+
+Benchmarks also persist machine-readable ``BENCH_<name>.json`` artifacts
+(under ``benchmarks/artifacts/``) through the ``bench_artifact`` fixture, so
+the performance trajectory of the hot paths is tracked across commits.  The
+artifact schema is validated by ``benchmarks/validate_artifacts.py`` (also run
+as a CI smoke step at a small scale).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
 
 import pytest
 
 from repro.experiments.workloads import crossing_rich_world, standard_world
 
 #: Scale used by the evaluation benches.  "medium" (40 users x 7 days) matches
-#: the scale documented in EXPERIMENTS.md; set to "small" for a quicker pass.
-EVALUATION_SCALE = "medium"
+#: the scale documented in EXPERIMENTS.md; override with REPRO_BENCH_SCALE
+#: (e.g. "small" for a quicker pass, as the CI smoke step does).
+EVALUATION_SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+#: Where BENCH_*.json artifacts are written.
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+#: Version of the artifact schema (checked by validate_artifacts.py).
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_artifact(
+    name: str,
+    *,
+    timings: Mapping[str, Mapping[str, float]],
+    rows: Sequence[Mapping[str, object]] = (),
+    baseline: Optional[Mapping[str, object]] = None,
+    extra: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.<scale>.json`` and return its path.
+
+    ``timings`` maps a measured cell (e.g. ``"detect_mix_zones"``) to numbers
+    — at minimum ``wall_s``; throughput figures ride alongside.  ``rows`` are
+    the printed table rows, ``baseline`` optional before/after context.  The
+    scale is part of the file name so a quick small-scale pass (the CI smoke)
+    never overwrites the committed medium-scale evidence.
+    """
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "scale": EVALUATION_SCALE,
+        "python": platform.python_version(),
+        "timings": {cell: dict(values) for cell, values in timings.items()},
+        "rows": [dict(row) for row in rows],
+    }
+    if baseline is not None:
+        payload["baseline"] = dict(baseline)
+    if extra:
+        # Nested, not merged: a caller key must not shadow a schema field.
+        payload["extra"] = dict(extra)
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"BENCH_{name}.{EVALUATION_SCALE}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        # _sanitize maps non-finite floats to None and allow_nan=False
+        # backstops it: the artifact must stay strict JSON (bare NaN/Infinity
+        # tokens are rejected by most consumers).
+        json.dump(
+            _sanitize(payload), handle, indent=1, sort_keys=False, allow_nan=False
+        )
+        handle.write("\n")
+    return path
+
+
+def _sanitize(value):
+    """Make a payload strict-JSON-safe: finite numbers, plain containers."""
+    import math
+
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def bench_artifact():
+    """The artifact writer as a fixture (see :func:`write_bench_artifact`)."""
+    return write_bench_artifact
+
+
+@pytest.fixture(scope="session")
+def evaluation_scale() -> str:
+    """The session's workload scale (benches must not import conftest)."""
+    return EVALUATION_SCALE
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Validate the ``BENCH_*.json`` artifacts against the v1 schema.
+
+Usage::
+
+    python benchmarks/validate_artifacts.py [artifact_dir]
+
+Exits non-zero when no artifacts are found or any artifact is malformed, so
+CI can run a small-scale bench and then this script as a smoke check that the
+machine-readable performance trail stays well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+EXPECTED_SCHEMA_VERSION = 1
+
+
+def validate_artifact(path: Path) -> list:
+    """Return a list of human-readable schema violations (empty when valid)."""
+    errors = []
+
+    def _reject_constant(token):
+        raise ValueError(f"non-strict JSON token {token!r}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle, parse_constant=_reject_constant)
+    except (OSError, ValueError) as exc:  # json.JSONDecodeError is a ValueError
+        return [f"unreadable JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return ["top level must be an object"]
+
+    if payload.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {EXPECTED_SCHEMA_VERSION}, "
+            f"got {payload.get('schema_version')!r}"
+        )
+    for key in ("name", "scale", "python"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            errors.append(f"{key!r} must be a non-empty string")
+    if isinstance(payload.get("name"), str) and isinstance(payload.get("scale"), str):
+        expected = f"BENCH_{payload['name']}.{payload['scale']}.json"
+        if path.name != expected:
+            errors.append(f"file name should be {expected!r}")
+
+    timings = payload.get("timings")
+    if not isinstance(timings, dict) or not timings:
+        errors.append("'timings' must be a non-empty object")
+    else:
+        for cell, values in timings.items():
+            if not isinstance(values, dict):
+                errors.append(f"timings[{cell!r}] must be an object")
+                continue
+            wall = values.get("wall_s")
+            if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+                errors.append(f"timings[{cell!r}]['wall_s'] must be a non-negative number")
+
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        errors.append("'rows' must be a list")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                errors.append(f"rows[{i}] must be an object")
+    return errors
+
+
+def main(argv) -> int:
+    directory = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent / "artifacts"
+    artifacts = sorted(directory.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"FAIL: no BENCH_*.json artifacts under {directory}")
+        return 1
+    failures = 0
+    for path in artifacts:
+        errors = validate_artifact(path)
+        if errors:
+            failures += 1
+            print(f"FAIL {path.name}:")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok   {path.name}")
+    print(f"{len(artifacts) - failures}/{len(artifacts)} artifacts valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,17 +24,27 @@ observable behaviour (synchronized clustering, trash bin, centroid-pull
 editing); the EDR-based ad-hoc clustering distance of the original is replaced
 by the synchronized Euclidean distance, which the authors themselves use for
 the space-translation phase.
+
+The clustering phase runs on the columnar kernel layer
+(:mod:`repro.geo.kernels`): trajectories are resampled onto the common time
+grid and projected as contiguous ``(n_users, n_steps)`` coordinate planes,
+and each greedy round scores *every* remaining candidate with one batched
+masked-distance query against a
+:class:`~repro.geo.kernels.SyncedDistances` workspace instead of a Python
+loop of per-pair reductions.  The scalar implementation is retained
+(``engine="reference"``) as the equivalence oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..api.registry import register_mechanism
 from ..core.trajectory import MobilityDataset, Trajectory
+from ..geo.kernels import SyncedDistances
 from ..geo.projection import LocalProjection
 from .base import PublicationMechanism
 
@@ -80,6 +90,10 @@ class Wait4MeConfig:
         bounding the worst-case distortion as in the original paper.
     seed:
         Seed used to pick cluster seeds (ordering only; no noise is added).
+    engine:
+        ``"vectorized"`` (default) scores candidates with the batched
+        columnar kernels; ``"reference"`` runs the retained scalar greedy
+        loop of identical semantics (the equivalence oracle).
     """
 
     k: int = 4
@@ -87,6 +101,7 @@ class Wait4MeConfig:
     time_step_s: float = 300.0
     max_cluster_radius_m: float = 4000.0
     seed: Optional[int] = 0
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -97,6 +112,10 @@ class Wait4MeConfig:
             raise ValueError("time_step_s must be positive")
         if self.max_cluster_radius_m <= 0.0:
             raise ValueError("max_cluster_radius_m must be positive")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {self.engine!r}"
+            )
 
 
 class Wait4MeMechanism(PublicationMechanism):
@@ -117,47 +136,57 @@ class Wait4MeMechanism(PublicationMechanism):
             # be published under (k, δ)-anonymity.
             return MobilityDataset()
 
-        grid, synced = self._synchronize(non_empty)
-        clusters, trashed = self._cluster(synced)
-        published = self._space_translate(grid, synced, clusters)
+        grid, xs, ys, users = self._synchronize(non_empty)
+        cluster = (
+            self._cluster_reference if self.config.engine == "reference" else self._cluster
+        )
+        clusters, trashed = cluster(xs, ys)
+        published = self._space_translate(grid, xs, ys, users, clusters)
         return MobilityDataset(published)
 
     # -- phase 1: synchronization ---------------------------------------------------------
 
     def _synchronize(
         self, trajectories: Sequence[Trajectory]
-    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[str]]:
         """Resample every trajectory on a common time grid.
 
-        Returns the grid (timestamps) and, per user, an ``(n_grid, 2)`` array
-        of planar positions in meters (NaN where the user is not observed,
-        i.e. outside her recording interval).
+        Returns the grid (timestamps), the ``(n_users, n_grid)`` planes of
+        planar x / y positions in meters (NaN where a user is not observed,
+        i.e. outside her recording interval) and the user ids indexing their
+        rows.
+
+        Coordinates are interpolated in degrees and the resampled matrices
+        projected with one batched call: the local projection is linear, so
+        projecting after interpolation is exact and touches ``n_users x
+        n_grid`` points instead of every raw fix.
         """
         cfg = self.config
-        t_min = min(t.first.timestamp for t in trajectories)
-        t_max = max(t.last.timestamp for t in trajectories)
+        t_min = min(float(t.timestamps[0]) for t in trajectories)
+        t_max = max(float(t.timestamps[-1]) for t in trajectories)
         n_steps = max(2, int(np.ceil((t_max - t_min) / cfg.time_step_s)) + 1)
         grid = t_min + np.arange(n_steps) * cfg.time_step_s
 
-        all_lats = np.concatenate([np.asarray(t.lats) for t in trajectories])
-        all_lons = np.concatenate([np.asarray(t.lons) for t in trajectories])
-        self._projection = LocalProjection.centered_on(all_lats, all_lons)
-
-        synced: Dict[str, np.ndarray] = {}
-        for traj in trajectories:
-            ts = np.asarray(traj.timestamps)
-            xs, ys = self._projection.project_array(np.asarray(traj.lats), np.asarray(traj.lons))
-            gx = np.interp(grid, ts, xs, left=np.nan, right=np.nan)
-            gy = np.interp(grid, ts, ys, left=np.nan, right=np.nan)
-            synced[traj.user_id] = np.stack([gx, gy], axis=1)
-        return grid, synced
+        n_points = sum(len(t) for t in trajectories)
+        self._projection = LocalProjection(
+            sum(float(np.sum(t.lats)) for t in trajectories) / n_points,
+            sum(float(np.sum(t.lons)) for t in trajectories) / n_points,
+        )
+        grid_lats = np.empty((len(trajectories), n_steps))
+        grid_lons = np.empty((len(trajectories), n_steps))
+        for k, traj in enumerate(trajectories):
+            ts = traj.timestamps
+            grid_lats[k] = np.interp(grid, ts, traj.lats, left=np.nan, right=np.nan)
+            grid_lons[k] = np.interp(grid, ts, traj.lons, left=np.nan, right=np.nan)
+        xs, ys = self._projection.project_array_inplace(grid_lats, grid_lons)
+        return grid, xs, ys, [t.user_id for t in trajectories]
 
     # -- phase 2: greedy clustering ----------------------------------------------------------
 
     def _cluster(
-        self, synced: Dict[str, np.ndarray]
-    ) -> Tuple[List[List[str]], List[str]]:
-        """Greedy clustering into groups of at least ``k`` users.
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Greedy clustering into groups of at least ``k`` users (batched).
 
         Repeatedly pick an unassigned seed user, attach its ``k - 1`` nearest
         unassigned users (by synchronized distance), and reject the group if
@@ -165,23 +194,85 @@ class Wait4MeMechanism(PublicationMechanism):
         seed is then trashed).  Leftover users that cannot form a final group
         are appended to the nearest existing cluster, as in the original
         algorithm's "k-anonymity preserving" post-processing.
+
+        Each round scores every remaining candidate with one batched query
+        against a :class:`~repro.geo.kernels.SyncedDistances` workspace;
+        clusters and the trash bin are returned as row indices into the
+        planes.
         """
         cfg = self.config
+        n = xs.shape[0]
         rng = np.random.default_rng(cfg.seed)
-        users = list(synced.keys())
-        order = [users[i] for i in rng.permutation(len(users))]
-        unassigned = set(users)
-        clusters: List[List[str]] = []
-        trashed: List[str] = []
+        order = rng.permutation(n)
+        synced = SyncedDistances.from_planes(xs, ys, dtype=self._distance_dtype(xs, ys))
+        unassigned = np.ones(n, dtype=bool)
+        clusters: List[List[int]] = []
+        trashed: List[int] = []
+
+        for seed_user in order:
+            seed_user = int(seed_user)
+            if not unassigned[seed_user]:
+                continue
+            candidates = np.flatnonzero(unassigned)
+            candidates = candidates[candidates != seed_user]
+            if candidates.size < cfg.k - 1:
+                break
+            distances = synced.distances_from(seed_user, candidates)
+            nearest = np.argsort(distances, kind="stable")[: cfg.k - 1]
+            worst = float(distances[nearest[-1]])
+            if not np.isfinite(worst) or worst > cfg.max_cluster_radius_m:
+                trashed.append(seed_user)
+                unassigned[seed_user] = False
+                continue
+            group = [seed_user] + [int(c) for c in candidates[nearest]]
+            clusters.append(group)
+            unassigned[group] = False
+
+        # Attach leftovers to their nearest cluster rather than publishing a
+        # group smaller than k.
+        for user in np.flatnonzero(unassigned):
+            user = int(user)
+            unassigned[user] = False
+            if not clusters:
+                trashed.append(user)
+                continue
+            seeds = np.array([cluster[0] for cluster in clusters])
+            distances = synced.distances_from(user, seeds)
+            best = int(np.argmin(distances))
+            if np.isfinite(distances[best]) and distances[best] <= cfg.max_cluster_radius_m:
+                clusters[best].append(user)
+            else:
+                trashed.append(user)
+        return clusters, trashed
+
+    def _cluster_reference(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Scalar reference of :meth:`_cluster` (the equivalence oracle).
+
+        Same greedy semantics with plain Python loops and one scalar distance
+        query per candidate pair; retained for the property tests that pin
+        the vectorized path to it.  Distances come from the same float32
+        workspace semantics as :meth:`_cluster` so the two paths face
+        identical numbers.
+        """
+        cfg = self.config
+        n = xs.shape[0]
+        rng = np.random.default_rng(cfg.seed)
+        order = [int(i) for i in rng.permutation(n)]
+        synced = SyncedDistances.from_planes(xs, ys, dtype=self._distance_dtype(xs, ys))
+        unassigned = set(range(n))
+        clusters: List[List[int]] = []
+        trashed: List[int] = []
 
         for seed_user in order:
             if seed_user not in unassigned:
                 continue
-            candidates = [u for u in unassigned if u != seed_user]
+            candidates = [u for u in sorted(unassigned) if u != seed_user]
             if len(candidates) < cfg.k - 1:
                 break
             distances = [
-                (self._trajectory_distance(synced[seed_user], synced[u]), u) for u in candidates
+                (synced.pair_distance(seed_user, u), u) for u in candidates
             ]
             distances.sort(key=lambda pair: pair[0])
             group = [seed_user] + [u for _, u in distances[: cfg.k - 1]]
@@ -193,69 +284,112 @@ class Wait4MeMechanism(PublicationMechanism):
             clusters.append(group)
             unassigned.difference_update(group)
 
-        # Attach leftovers to their nearest cluster rather than publishing a
-        # group smaller than k.
-        for user in list(unassigned):
+        for user in sorted(unassigned):
+            unassigned.discard(user)
             if not clusters:
                 trashed.append(user)
-                unassigned.discard(user)
                 continue
-            best = min(
-                range(len(clusters)),
-                key=lambda c: self._trajectory_distance(synced[user], synced[clusters[c][0]]),
-            )
-            best_dist = self._trajectory_distance(synced[user], synced[clusters[best][0]])
-            if np.isfinite(best_dist) and best_dist <= cfg.max_cluster_radius_m:
+            dists = [
+                synced.pair_distance(user, cluster[0]) for cluster in clusters
+            ]
+            best = min(range(len(clusters)), key=lambda c: dists[c])
+            if np.isfinite(dists[best]) and dists[best] <= cfg.max_cluster_radius_m:
                 clusters[best].append(user)
             else:
                 trashed.append(user)
-            unassigned.discard(user)
         return clusters, trashed
 
     @staticmethod
+    def _distance_dtype(xs: np.ndarray, ys: np.ndarray):
+        """Workspace precision for the synchronized clustering distances.
+
+        float32 halves the memory traffic of the batched distance queries,
+        but its ~1.2e-7 relative quantization is only harmless while planar
+        coordinates stay within ~100 km of the projection origin (centimeter
+        scale).  Continental extents — real GeoLife users travel abroad —
+        fall back to float64.  Both clustering engines share this choice.
+        """
+        with np.errstate(invalid="ignore"):
+            extent = max(
+                float(np.nanmax(np.abs(xs), initial=0.0)),
+                float(np.nanmax(np.abs(ys), initial=0.0)),
+            )
+        return np.float32 if extent < 1e5 else np.float64
+
+    @staticmethod
     def _trajectory_distance(a: np.ndarray, b: np.ndarray) -> float:
-        """Mean planar distance over the time steps where both users exist."""
+        """Mean planar distance over the time steps where both users exist.
+
+        The plain-formula statement of the synchronized distance, on an
+        ``(n_grid, 2)`` stack.  Not used by either clustering engine (both
+        query :class:`~repro.geo.kernels.SyncedDistances`); kept as the
+        independent oracle the kernel unit tests compare against.
+        """
         both = ~np.isnan(a[:, 0]) & ~np.isnan(b[:, 0])
         if not np.any(both):
             return np.inf
         diff = a[both] - b[both]
-        return float(np.mean(np.hypot(diff[:, 0], diff[:, 1])))
+        dx, dy = diff[:, 0], diff[:, 1]
+        return float(np.sum(np.sqrt(dx * dx + dy * dy)) / both.sum())
 
     # -- phase 3: space translation -------------------------------------------------------------
 
     def _space_translate(
         self,
         grid: np.ndarray,
-        synced: Dict[str, np.ndarray],
-        clusters: List[List[str]],
+        xs: np.ndarray,
+        ys: np.ndarray,
+        users: List[str],
+        clusters: List[List[int]],
     ) -> List[Trajectory]:
         """Pull cluster members inside the δ-cylinder around the cluster centroid."""
         cfg = self.config
         half_delta = cfg.delta_m / 2.0
+        if not clusters:
+            return []
+        # One flat batch over every member of every cluster, on contiguous
+        # coordinate planes.
+        member_rows = np.concatenate([np.asarray(c, dtype=np.int64) for c in clusters])
+        sizes = np.array([len(c) for c in clusters])
+        cluster_of = np.repeat(np.arange(len(clusters)), sizes)  # (M,)
+        px = xs[member_rows]  # (M, n_grid)
+        py = ys[member_rows]
+        observed = ~np.isnan(px)
+
+        # Per-step cluster centroids in three small matmuls (all-NaN steps
+        # stay NaN): the (n_clusters, M) membership indicator against the
+        # zero-filled member planes and the observation mask.
+        indicator = (cluster_of[None, :] == np.arange(len(clusters))[:, None]).astype(float)
+        counts = indicator @ observed.astype(float)  # (n_clusters, n_grid)
+        sum_x = indicator @ np.nan_to_num(px)
+        sum_y = indicator @ np.nan_to_num(py)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            centroid_x = np.where(counts > 0, sum_x / counts, np.nan)
+            centroid_y = np.where(counts > 0, sum_y / counts, np.nan)
+            # One batched pull for every member at once: offsets exceeding
+            # δ/2 are scaled down so each member fits in its cluster's
+            # cylinder.  NaN steps (member or centroid unobserved) propagate
+            # and are masked out per member below.
+            center_x = centroid_x[cluster_of]  # (M, n_grid)
+            center_y = centroid_y[cluster_of]
+            dx = px - center_x
+            dy = py - center_y
+            radii = np.sqrt(dx * dx + dy * dy)
+            scale = np.where(
+                radii > half_delta, half_delta / np.where(radii > 0, radii, 1.0), 1.0
+            )
+            pulled_x = center_x + dx * scale
+            pulled_y = center_y + dy * scale
+        lats, lons = self._projection.unproject_array(pulled_x, pulled_y)
+        member_observed = ~np.isnan(pulled_x)
         published: List[Trajectory] = []
-        for cluster in clusters:
-            stack = np.stack([synced[u] for u in cluster], axis=0)  # (m, n_grid, 2)
-            # Per-step centroid of the observed members (all-NaN steps stay NaN
-            # without triggering the nanmean empty-slice warning).
-            observed_counts = np.sum(~np.isnan(stack[:, :, 0]), axis=0)  # (n_grid,)
-            sums = np.nansum(stack, axis=0)  # (n_grid, 2)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                centroid = np.where(
-                    observed_counts[:, None] > 0, sums / observed_counts[:, None], np.nan
+        for m, user_index in enumerate(member_rows):
+            mask = member_observed[m]
+            if not np.any(mask):
+                continue
+            published.append(
+                Trajectory.from_sorted(
+                    users[user_index], grid[mask], lats[m][mask], lons[m][mask]
                 )
-            for m, user in enumerate(cluster):
-                member = stack[m]
-                observed = ~np.isnan(member[:, 0]) & ~np.isnan(centroid[:, 0])
-                if not np.any(observed):
-                    continue
-                points = member[observed].copy()
-                center = centroid[observed]
-                offsets = points - center
-                radii = np.hypot(offsets[:, 0], offsets[:, 1])
-                # Scale down offsets exceeding δ/2 so the member fits in the cylinder.
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    scale = np.where(radii > half_delta, half_delta / np.where(radii > 0, radii, 1.0), 1.0)
-                points = center + offsets * scale[:, None]
-                lats, lons = self._projection.unproject_array(points[:, 0], points[:, 1])
-                published.append(Trajectory(user, grid[observed], lats, lons))
+            )
         return published

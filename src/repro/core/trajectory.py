@@ -24,6 +24,7 @@ import numpy as np
 
 from ..geo.distance import haversine, haversine_array
 from ..geo.geometry import BoundingBox
+from ..geo.kernels import ColumnarTraces
 from ..geo.polyline import cumulative_distances, path_length
 
 __all__ = ["Point", "Trajectory", "MobilityDataset"]
@@ -106,6 +107,29 @@ class Trajectory:
         self._lons = np.ascontiguousarray(lons[order])
 
     # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_sorted(
+        cls,
+        user_id: str,
+        timestamps: np.ndarray,
+        lats: np.ndarray,
+        lons: np.ndarray,
+    ) -> "Trajectory":
+        """Trusted constructor for already-validated, time-sorted arrays.
+
+        Skips the finiteness/range checks and the stable sort of the public
+        constructor.  Library hot paths (publication mechanisms, masking
+        transforms) use it on arrays they derived from an existing trajectory,
+        where the invariants hold by construction; external data must go
+        through ``Trajectory(...)``.
+        """
+        traj = cls.__new__(cls)
+        traj.user_id = str(user_id)
+        traj._timestamps = np.ascontiguousarray(timestamps, dtype=float)
+        traj._lats = np.ascontiguousarray(lats, dtype=float)
+        traj._lons = np.ascontiguousarray(lons, dtype=float)
+        return traj
 
     @classmethod
     def from_points(cls, user_id: str, points: Iterable[Point]) -> "Trajectory":
@@ -252,7 +276,7 @@ class Trajectory:
 
     def with_user_id(self, user_id: str) -> "Trajectory":
         """Same fixes, different identifier (used by the swapping engine)."""
-        return Trajectory(user_id, self._timestamps, self._lats, self._lons)
+        return Trajectory.from_sorted(user_id, self._timestamps, self._lats, self._lons)
 
     def slice_time(self, start: float, end: float) -> "Trajectory":
         """Fixes with timestamps in ``[start, end]`` (inclusive bounds)."""
@@ -272,7 +296,8 @@ class Trajectory:
         return self._masked(mask)
 
     def _masked(self, mask: np.ndarray) -> "Trajectory":
-        return Trajectory(
+        # Masking preserves chronological order and validity.
+        return Trajectory.from_sorted(
             self.user_id, self._timestamps[mask], self._lats[mask], self._lons[mask]
         )
 
@@ -289,7 +314,7 @@ class Trajectory:
         """Keep one fix out of every ``factor`` (always keeps the first fix)."""
         if factor < 1:
             raise ValueError(f"downsampling factor must be >= 1, got {factor}")
-        return Trajectory(
+        return Trajectory.from_sorted(
             self.user_id,
             self._timestamps[::factor],
             self._lats[::factor],
@@ -335,10 +360,11 @@ class MobilityDataset:
     experiments reproducible.
     """
 
-    __slots__ = ("_trajectories",)
+    __slots__ = ("_trajectories", "_columnar")
 
     def __init__(self, trajectories: Iterable[Trajectory] = ()) -> None:
         self._trajectories: Dict[str, Trajectory] = {}
+        self._columnar: Optional[ColumnarTraces] = None
         for traj in trajectories:
             self._add(traj)
 
@@ -346,6 +372,16 @@ class MobilityDataset:
         if traj.user_id in self._trajectories:
             raise ValueError(f"duplicate user id {traj.user_id!r} in dataset")
         self._trajectories[traj.user_id] = traj
+
+    def __getstate__(self):
+        # The cached columnar view is derived data: shipping it through
+        # pickle (multiprocessing fan-out) would double the payload, and
+        # receivers rebuild it lazily anyway.
+        return self._trajectories
+
+    def __setstate__(self, state) -> None:
+        self._trajectories = state
+        self._columnar = None
 
     # -- mapping protocol -----------------------------------------------------
 
@@ -409,13 +445,24 @@ class MobilityDataset:
         )
 
     def all_coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Concatenated ``(lats, lons)`` arrays of every fix of every user."""
-        non_empty = [t for t in self if len(t) > 0]
-        if not non_empty:
-            return np.zeros(0), np.zeros(0)
-        lats = np.concatenate([t.lats for t in non_empty])
-        lons = np.concatenate([t.lons for t in non_empty])
-        return lats, lons
+        """Concatenated ``(lats, lons)`` arrays of every fix of every user.
+
+        Returns fresh writable copies (the historical contract); read-only
+        consumers should prefer :meth:`columnar`, which shares its arrays.
+        """
+        columnar = self.columnar()
+        return columnar.lats.copy(), columnar.lons.copy()
+
+    def columnar(self) -> ColumnarTraces:
+        """The dataset flattened into parallel per-point arrays (cached).
+
+        Datasets are value objects (never mutated after construction), so the
+        columnar view is built once on first use and shared by every hot path
+        — mix-zone detection, Wait-For-Me synchronization, fingerprinting.
+        """
+        if self._columnar is None:
+            self._columnar = ColumnarTraces.from_trajectories(list(self))
+        return self._columnar
 
     # -- transformations --------------------------------------------------------
 

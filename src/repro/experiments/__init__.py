@@ -6,11 +6,27 @@ primary API; the ``run_*`` functions are the paper's seven experiments
 pre-packaged as specs.
 """
 
-from .engine import EvalContext, EvaluationEngine, ExperimentSpec, make_world
-from .formatting import format_percent, format_series, format_table
+from .engine import EvalContext, EvaluationEngine, ExperimentSpec
+from .formatting import (
+    format_percent,
+    format_series,
+    format_table,
+    mean_ci,
+    summarize_over_seeds,
+)
+from .worlds import (
+    WORLDS,
+    RealWorld,
+    geolife_world,
+    list_worlds,
+    make_world,
+    register_world,
+)
 from .runner import (
     DEFAULT_MECHANISM_SPECS,
+    DEFAULT_SEED_SWEEP,
     default_mechanisms,
+    seed_sweep,
     ground_truth_pois,
     run_area_coverage,
     run_mixzone_stats,
@@ -32,11 +48,20 @@ __all__ = [
     "ExperimentSpec",
     "EvaluationEngine",
     "EvalContext",
+    "WORLDS",
     "make_world",
+    "register_world",
+    "list_worlds",
+    "RealWorld",
+    "geolife_world",
     "format_table",
     "format_series",
     "format_percent",
+    "mean_ci",
+    "summarize_over_seeds",
     "DEFAULT_MECHANISM_SPECS",
+    "DEFAULT_SEED_SWEEP",
+    "seed_sweep",
     "default_mechanisms",
     "ground_truth_pois",
     "run_poi_retrieval",

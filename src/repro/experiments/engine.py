@@ -44,20 +44,17 @@ from ..api.adapters import publish_result
 from ..api.registry import (
     ATTACKS,
     METRICS,
-    Registry,
     RegistryError,
     make_mechanism,
     parse_spec,
 )
 from ..api.result import PublicationResult
 from ..core.trajectory import MobilityDataset
-from ..datagen.mobility import generate_world
-from .workloads import (
-    crossing_rich_world,
-    figure1_world,
-    split_train_publish,
-    standard_world,
-)
+from .workloads import split_train_publish
+
+# World resolution lives in the registry module; re-exported here because the
+# engine is where world specs are consumed (and for backward compatibility).
+from .worlds import WORLDS, make_world, register_world
 
 __all__ = [
     "ExperimentSpec",
@@ -65,28 +62,8 @@ __all__ = [
     "EvalContext",
     "WORLDS",
     "make_world",
+    "register_world",
 ]
-
-
-# ---------------------------------------------------------------------------
-# World registry
-# ---------------------------------------------------------------------------
-
-WORLDS = Registry("world")
-
-WORLDS.register("standard")(
-    lambda scale="small", seed=42: standard_world(scale, seed=seed)
-)
-WORLDS.register("crossing", aliases=("crossing-rich",))(
-    lambda scale="small", seed=42: crossing_rich_world(scale, seed=seed)
-)
-WORLDS.register("figure1")(figure1_world)
-WORLDS.register("generate")(generate_world)
-
-
-def make_world(spec: str):
-    """Build a workload from a spec, e.g. ``"crossing:scale=medium,seed=7"``."""
-    return WORLDS.create(spec)
 
 
 # ---------------------------------------------------------------------------
@@ -296,10 +273,12 @@ def _world_fingerprint(world) -> Tuple:
 
     Shape alone (user/point counts, time span) is not enough — two worlds
     differing only in coordinates would alias — so a CRC over a sample of
-    the coordinate arrays is included.  O(n) once per world per run.
+    the coordinate arrays is included.  O(n); computed once per world per
+    :meth:`EvaluationEngine.run` (the run memoizes it across cells).
     """
     dataset = world.dataset
-    lats, lons = dataset.all_coordinates()
+    columnar = dataset.columnar()  # shared read-only views: no copies
+    lats, lons = columnar.lats, columnar.lons
     stride = max(1, lats.size // 1024)
     checksum = zlib.crc32(lats[::stride].tobytes())
     checksum = zlib.crc32(lons[::stride].tobytes(), checksum)
@@ -350,7 +329,7 @@ class EvaluationEngine:
 
     # -- cache ----------------------------------------------------------------------
 
-    def _cell_key(self, spec: ExperimentSpec, world, cell) -> Optional[Tuple]:
+    def _cell_key(self, spec: ExperimentSpec, fingerprint: Tuple, cell) -> Optional[Tuple]:
         if not self.cache_enabled or not isinstance(cell["mech_item"], str):
             return None
         attack_item = cell["attack_item"]
@@ -359,7 +338,7 @@ class EvaluationEngine:
         return (
             spec.input,
             cell["world_label"],
-            _world_fingerprint(world),
+            fingerprint,
             cell["seed"],
             cell["mech_label"],
             cell["mech_item"],
@@ -383,6 +362,11 @@ class EvaluationEngine:
         """
         cells = spec.cells()
         world_objects = self._resolve_worlds(spec, worlds)
+        fingerprints = (
+            {label: _world_fingerprint(world) for label, world in world_objects.items()}
+            if self.cache_enabled
+            else {label: () for label in world_objects}
+        )
         rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
 
         # Serve cached cells, group the rest by (world, seed, mechanism).
@@ -390,7 +374,7 @@ class EvaluationEngine:
         pending_keys: Dict[int, Optional[Tuple]] = {}
         for cell in cells:
             world = world_objects[cell["world_label"]]
-            key = self._cell_key(spec, world, cell)
+            key = self._cell_key(spec, fingerprints[cell["world_label"]], cell)
             if key is not None and key in self._row_cache:
                 rows[cell["index"]] = dict(self._row_cache[key])
                 self.cache_hits += 1

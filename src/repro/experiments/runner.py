@@ -32,6 +32,8 @@ from .engine import EvaluationEngine, ExperimentSpec
 
 __all__ = [
     "DEFAULT_MECHANISM_SPECS",
+    "DEFAULT_SEED_SWEEP",
+    "seed_sweep",
     "default_mechanisms",
     "ground_truth_pois",
     "run_poi_retrieval",
@@ -42,6 +44,24 @@ __all__ = [
     "run_tradeoff_frontier",
     "run_mixzone_stats",
 ]
+
+
+def seed_sweep(n: int = 5) -> Tuple[int, ...]:
+    """The ``seeds=range(n)`` sweep preset for variance-reporting runs.
+
+    Pass the result as the ``seeds`` argument of a runner (or an
+    :class:`~repro.experiments.engine.ExperimentSpec`) and summarise the
+    per-seed rows with
+    :func:`~repro.experiments.formatting.summarize_over_seeds`; the per-cell
+    engine cache makes repeated sweeps incremental.
+    """
+    if n < 1:
+        raise ValueError(f"seed sweep needs at least one seed, got {n}")
+    return tuple(range(n))
+
+
+#: The standard five-seed sweep (mean ± 95 % CI in the benchmarks).
+DEFAULT_SEED_SWEEP: Tuple[int, ...] = seed_sweep(5)
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +122,17 @@ def _project(rows: Sequence[Dict[str, object]], mapping) -> List[Dict[str, objec
     return [{key: source(row) for key, source in mapping} for row in rows]
 
 
+def _with_seed_column(mapping, seeds) -> list:
+    """Prefix the row schema with the seed column on multi-seed sweeps.
+
+    Single-seed runs keep the exact legacy schema; a sweep needs the seed in
+    the row so variance summaries can group on the remaining columns.
+    """
+    if len(tuple(seeds)) <= 1:
+        return list(mapping)
+    return [("seed", _col("seed"))] + list(mapping)
+
+
 def _col(name: str):
     return lambda row: row[name]
 
@@ -118,6 +149,7 @@ def run_poi_retrieval(
     match_distance_m: float = 250.0,
     min_stay_s: float = 900.0,
     adaptive_attacker: bool = True,
+    seeds: Sequence[int] = (0,),
 ) -> List[Dict[str, object]]:
     """Experiment E1: POI retrieval precision / recall / F-score per mechanism.
 
@@ -144,19 +176,23 @@ def run_poi_retrieval(
         mechanisms=_mechanism_axis(mechanisms),
         attacks=[(attack, attack_spec)],
         worlds=["world"],
+        seeds=tuple(seeds),
     )
     rows = _ENGINE.run(spec, worlds={"world": world})
     return _project(
         rows,
-        [
-            ("mechanism", _col("mechanism")),
-            ("attack", _col("attack")),
-            ("precision", _col("precision")),
-            ("recall", _col("recall")),
-            ("f_score", _col("f_score")),
-            ("n_true_pois", _col("n_true_pois")),
-            ("n_extracted", _col("n_extracted")),
-        ],
+        _with_seed_column(
+            [
+                ("mechanism", _col("mechanism")),
+                ("attack", _col("attack")),
+                ("precision", _col("precision")),
+                ("recall", _col("recall")),
+                ("f_score", _col("f_score")),
+                ("n_true_pois", _col("n_true_pois")),
+                ("n_extracted", _col("n_extracted")),
+            ],
+            seeds,
+        ),
     )
 
 
@@ -168,8 +204,14 @@ def run_poi_retrieval(
 def run_spatial_distortion(
     world: SyntheticWorld,
     mechanisms: Optional[MechanismMap] = None,
+    seeds: Sequence[int] = (0,),
 ) -> List[Dict[str, object]]:
-    """Experiment E2: spatial distortion and point retention per mechanism."""
+    """Experiment E2: spatial distortion and point retention per mechanism.
+
+    Pass ``seeds=seed_sweep(5)`` to sweep the mechanism seeds and report
+    variance (the rows then carry a leading ``seed`` column; summarise with
+    :func:`~repro.experiments.formatting.summarize_over_seeds`).
+    """
     spec = ExperimentSpec(
         name="e2-spatial-distortion",
         mechanisms=_mechanism_axis(mechanisms),
@@ -181,19 +223,23 @@ def run_spatial_distortion(
             )
         ],
         worlds=["world"],
+        seeds=tuple(seeds),
     )
     rows = _ENGINE.run(spec, worlds={"world": world})
     return _project(
         rows,
-        [
-            ("mechanism", _col("mechanism")),
-            ("mean_m", _col("mean_m")),
-            ("median_m", _col("median_m")),
-            ("p95_m", _col("p95_m")),
-            ("max_m", _col("max_m")),
-            ("point_retention", _col("point_retention")),
-            ("trip_length_error", _col("trip_length_error")),
-        ],
+        _with_seed_column(
+            [
+                ("mechanism", _col("mechanism")),
+                ("mean_m", _col("mean_m")),
+                ("median_m", _col("median_m")),
+                ("p95_m", _col("p95_m")),
+                ("max_m", _col("max_m")),
+                ("point_retention", _col("point_retention")),
+                ("trip_length_error", _col("trip_length_error")),
+            ],
+            seeds,
+        ),
     )
 
 

@@ -18,6 +18,15 @@ from .geometry import (
     point_to_polyline_distance_m,
 )
 from .grid import CellIndex, Grid
+from .kernels import (
+    ColumnarTraces,
+    SyncedDistances,
+    colocation_events,
+    connected_components,
+    iter_neighbor_pairs,
+    masked_mean_distances,
+    spatial_time_bins,
+)
 from .polyline import (
     cumulative_distances,
     path_length,
@@ -43,6 +52,13 @@ __all__ = [
     "point_to_polyline_distance_m",
     "Grid",
     "CellIndex",
+    "ColumnarTraces",
+    "SyncedDistances",
+    "spatial_time_bins",
+    "iter_neighbor_pairs",
+    "colocation_events",
+    "connected_components",
+    "masked_mean_distances",
     "cumulative_distances",
     "path_length",
     "position_at_distance",

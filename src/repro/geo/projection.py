@@ -70,6 +70,22 @@ class LocalProjection:
         ys = np.radians(lats - self.origin_lat) * EARTH_RADIUS_METERS
         return xs, ys
 
+    def project_array_inplace(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`project_array` overwriting its float inputs (no temporaries).
+
+        The hot-path variant for large freshly-allocated coordinate matrices:
+        returns ``(xs, ys)`` stored in the memory of ``lons`` / ``lats``.
+        """
+        lons -= self.origin_lon
+        np.radians(lons, out=lons)
+        lons *= self._cos_lat0 * EARTH_RADIUS_METERS
+        lats -= self.origin_lat
+        np.radians(lats, out=lats)
+        lats *= EARTH_RADIUS_METERS
+        return lons, lats
+
     def unproject_array(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`unproject`; returns ``(lats, lons)`` arrays in degrees."""
         xs = np.asarray(xs, dtype=float)

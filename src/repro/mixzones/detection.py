@@ -13,13 +13,22 @@ directly from the co-location structure of the dataset:
    complexity near-linear in the number of points instead of quadratic in the
    number of users.
 2. **Crossing events.**  Each confirmed co-location produces a crossing event
-   (midpoint position, midpoint time, the two users involved).
+   (midpoint position, midpoint time, the two users involved), deduplicated
+   to one event per (user pair, merge window).
 3. **Zone clustering.**  Crossing events that are close in space (within one
    zone diameter) and time (within ``merge_gap_s``) are merged with a
    union-find pass; each resulting cluster becomes one :class:`MixZone` whose
    center is the centroid of its events, whose temporal window spans its
    events padded by the tolerance, and whose participants are every user
    involved in any of its events.
+
+The candidate search and confirmation run entirely on the columnar kernel
+layer (:mod:`repro.geo.kernels`): the dataset's cached flattened view is
+bin-joined with numpy index arrays, distances are confirmed with one batched
+haversine call per bin neighborhood, and deduplication is a single lexsort —
+no Python loop ever touches individual fixes.  A scalar reference
+implementation of the exact same semantics is retained
+(``engine="reference"``) as the correctness oracle for the vectorized path.
 
 Zones with fewer than ``min_users`` participants are dropped (a single user
 cannot be mixed with anyone).
@@ -28,12 +37,18 @@ cannot be mixed with anyone).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from ..core.trajectory import MobilityDataset
-from ..geo.distance import haversine, meters_per_degree
+from ..geo.distance import haversine, haversine_array
+from ..geo.kernels import (
+    colocation_events,
+    connected_components,
+    iter_neighbor_pairs,
+    spatial_time_bins,
+)
 from .zones import MixZone
 
 __all__ = ["MixZoneDetectionConfig", "MixZoneDetector", "CrossingEvent", "detect_mix_zones"]
@@ -67,12 +82,17 @@ class MixZoneDetectionConfig:
         ``merge_gap_s`` in time are merged into the same zone.
     min_users:
         Minimum number of distinct participants for a zone to be kept.
+    engine:
+        ``"vectorized"`` (default) runs the columnar bin-join kernels;
+        ``"reference"`` runs the retained scalar implementation of the same
+        semantics (the equivalence oracle — quadratic, small inputs only).
     """
 
     radius_m: float = 100.0
     max_time_gap_s: float = 120.0
     merge_gap_s: float = 600.0
     min_users: int = 2
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.radius_m <= 0.0:
@@ -83,26 +103,10 @@ class MixZoneDetectionConfig:
             raise ValueError(f"merge_gap_s must be non-negative, got {self.merge_gap_s}")
         if self.min_users < 2:
             raise ValueError(f"min_users must be at least 2, got {self.min_users}")
-
-
-class _UnionFind:
-    """Minimal union-find used to cluster crossing events into zones."""
-
-    def __init__(self, n: int) -> None:
-        self.parent = list(range(n))
-
-    def find(self, i: int) -> int:
-        root = i
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[i] != root:
-            self.parent[i], i = root, self.parent[i]
-        return root
-
-    def union(self, i: int, j: int) -> None:
-        ri, rj = self.find(i), self.find(j)
-        if ri != rj:
-            self.parent[rj] = ri
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {self.engine!r}"
+            )
 
 
 class MixZoneDetector:
@@ -121,143 +125,154 @@ class MixZoneDetector:
         return sorted(zones, key=lambda z: z.midpoint_time)
 
     def find_crossings(self, dataset: MobilityDataset) -> List[CrossingEvent]:
-        """Return every confirmed pairwise co-location of the dataset."""
-        cfg = self.config
-        non_empty = [t for t in dataset if len(t) > 0]
-        if len(non_empty) < 2:
-            return []
+        """Return every confirmed pairwise co-location of the dataset.
 
-        # Flatten the dataset into parallel arrays for fast binning.
-        user_of: List[str] = []
-        lats_list, lons_list, ts_list = [], [], []
-        for traj in non_empty:
-            user_of.extend([traj.user_id] * len(traj))
-            lats_list.append(np.asarray(traj.lats))
-            lons_list.append(np.asarray(traj.lons))
-            ts_list.append(np.asarray(traj.timestamps))
-        lats = np.concatenate(lats_list)
-        lons = np.concatenate(lons_list)
-        ts = np.concatenate(ts_list)
-
-        # Bin every fix into a (cell_row, cell_col, time_bucket) key.
-        ref_lat = float(np.mean(lats))
-        lat_m, lon_m = meters_per_degree(ref_lat)
-        lat_step = cfg.radius_m / lat_m
-        lon_step = cfg.radius_m / lon_m
-        rows = np.floor((lats - lats.min()) / lat_step).astype(np.int64)
-        cols = np.floor((lons - lons.min()) / lon_step).astype(np.int64)
-        buckets = np.floor((ts - ts.min()) / cfg.max_time_gap_s).astype(np.int64)
-
-        bins: Dict[Tuple[int, int, int], List[int]] = {}
-        for idx in range(lats.size):
-            bins.setdefault((int(rows[idx]), int(cols[idx]), int(buckets[idx])), []).append(idx)
-
-        events: List[CrossingEvent] = []
-        seen_pairs: set = set()
-        for (row, col, bucket), members in bins.items():
-            # Gather this bin plus spatially and temporally adjacent bins so
-            # that co-locations straddling a bin boundary are not missed.
-            candidates = list(members)
-            for dr in (-1, 0, 1):
-                for dc in (-1, 0, 1):
-                    for db in (-1, 0, 1):
-                        if dr == dc == db == 0:
-                            continue
-                        other = bins.get((row + dr, col + dc, bucket + db))
-                        if other:
-                            candidates.extend(other)
-            if len(candidates) < 2:
-                continue
-            events.extend(self._confirm_pairs(members, candidates, user_of, lats, lons, ts, seen_pairs))
-        return events
-
-    # -- internals --------------------------------------------------------------
-
-    def _confirm_pairs(
-        self,
-        members: Sequence[int],
-        candidates: Sequence[int],
-        user_of: Sequence[str],
-        lats: np.ndarray,
-        lons: np.ndarray,
-        ts: np.ndarray,
-        seen_pairs: set,
-    ) -> List[CrossingEvent]:
-        """Exact distance/time confirmation of candidate co-locations.
-
-        To bound the number of produced events, at most one event is kept per
-        (user_a, user_b, time bucket) triple; ``seen_pairs`` carries that
-        dedup state across bins.
+        Events are deduplicated to one per (user pair, merge window),
+        canonically keeping the co-location with the smallest point-index
+        pair in the dataset's flattened (columnar) order.
         """
+        if self.config.engine == "reference":
+            return self.find_crossings_reference(dataset)
+        traces = dataset.columnar()
         cfg = self.config
+        i, j, mid_lat, mid_lon, mid_ts = colocation_events(
+            traces,
+            radius_m=cfg.radius_m,
+            max_time_gap_s=cfg.max_time_gap_s,
+            merge_gap_s=cfg.merge_gap_s,
+        )
+        users = traces.user_ids
+        user_index = traces.user_index
+        return [
+            CrossingEvent(
+                lat=float(mid_lat[e]),
+                lon=float(mid_lon[e]),
+                timestamp=float(mid_ts[e]),
+                user_a=users[int(user_index[i[e]])],
+                user_b=users[int(user_index[j[e]])],
+            )
+            for e in range(i.size)
+        ]
+
+    def find_crossings_reference(self, dataset: MobilityDataset) -> List[CrossingEvent]:
+        """Scalar reference of :meth:`find_crossings` (the equivalence oracle).
+
+        Walks every point pair with plain Python loops, applying the same bin
+        adjacency pre-filter, the same confirmation tests and the same
+        canonical first-wins deduplication as the columnar kernels.  Runs in
+        O(n^2): intended for tests and small datasets only.
+        """
+        traces = dataset.columnar()
+        cfg = self.config
+        n = traces.n_points
+        if n < 2 or traces.n_observed_users < 2:
+            return []
+        lats, lons, ts = traces.lats, traces.lons, traces.timestamps
+        user_index = traces.user_index
+        rows, cols, buckets = spatial_time_bins(
+            lats, lons, ts, cfg.radius_m, cfg.max_time_gap_s
+        )
+
         events: List[CrossingEvent] = []
-        for i in members:
-            for j in candidates:
-                if j <= i:
+        seen: set = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                if user_index[i] == user_index[j]:
                     continue
-                ua, ub = user_of[i], user_of[j]
-                if ua == ub:
+                if (
+                    abs(int(rows[i]) - int(rows[j])) > 1
+                    or abs(int(cols[i]) - int(cols[j])) > 1
+                    or abs(int(buckets[i]) - int(buckets[j])) > 1
+                ):
                     continue
-                dt = abs(float(ts[i] - ts[j]))
-                if dt > cfg.max_time_gap_s:
+                if abs(float(ts[i] - ts[j])) > cfg.max_time_gap_s:
                     continue
-                pair_key = (
-                    min(ua, ub),
-                    max(ua, ub),
-                    int(min(ts[i], ts[j]) // max(cfg.merge_gap_s, 1.0)),
+                key = (
+                    int(min(user_index[i], user_index[j])),
+                    int(max(user_index[i], user_index[j])),
+                    int(min(float(ts[i]), float(ts[j])) // max(cfg.merge_gap_s, 1.0)),
                 )
-                if pair_key in seen_pairs:
+                if key in seen:
                     continue
                 dist = haversine(float(lats[i]), float(lons[i]), float(lats[j]), float(lons[j]))
                 if dist > cfg.radius_m:
                     continue
-                seen_pairs.add(pair_key)
+                seen.add(key)
                 events.append(
                     CrossingEvent(
                         lat=float((lats[i] + lats[j]) / 2.0),
                         lon=float((lons[i] + lons[j]) / 2.0),
                         timestamp=float((ts[i] + ts[j]) / 2.0),
-                        user_a=ua,
-                        user_b=ub,
+                        user_a=traces.user_ids[int(user_index[i])],
+                        user_b=traces.user_ids[int(user_index[j])],
                     )
                 )
         return events
 
+    # -- internals --------------------------------------------------------------
+
     def _cluster_events(self, events: List[CrossingEvent]) -> List[MixZone]:
-        """Merge crossing events into mix-zones with a union-find pass."""
+        """Merge crossing events into mix-zones by vectorized transitive closure.
+
+        Events are bin-joined exactly like fixes (cell size = one zone
+        diameter, bucket size = the merge gap), candidate pairs are confirmed
+        with one batched haversine/time test, and clusters are the connected
+        components of the confirmed-pair graph.
+        """
         cfg = self.config
         if not events:
             return []
-        events = sorted(events, key=lambda e: e.timestamp)
-        uf = _UnionFind(len(events))
-        # Events are time-sorted, so only a sliding window needs to be checked.
-        for i in range(len(events)):
-            for j in range(i + 1, len(events)):
-                if events[j].timestamp - events[i].timestamp > cfg.merge_gap_s:
-                    break
-                d = haversine(events[i].lat, events[i].lon, events[j].lat, events[j].lon)
-                if d <= 2.0 * cfg.radius_m:
-                    uf.union(i, j)
+        # Canonical event order: clustering arithmetic (centroid sums) is then
+        # independent of the order the crossing search emitted the events in,
+        # so both detection engines produce bitwise-identical zones.
+        events = sorted(
+            events, key=lambda e: (e.timestamp, e.lat, e.lon, e.user_a, e.user_b)
+        )
+        times = np.array([e.timestamp for e in events])
+        lats = np.array([e.lat for e in events])
+        lons = np.array([e.lon for e in events])
+
+        diameter = 2.0 * cfg.radius_m
+        rows, cols, buckets = spatial_time_bins(
+            lats, lons, times, diameter, max(cfg.merge_gap_s, 1.0)
+        )
+
+        edges_a: List[np.ndarray] = []
+        edges_b: List[np.ndarray] = []
+        for i, j in iter_neighbor_pairs(rows, cols, buckets):
+            mask = np.abs(times[i] - times[j]) <= cfg.merge_gap_s
+            i, j = i[mask], j[mask]
+            if i.size == 0:
+                continue
+            close = haversine_array(lats[i], lons[i], lats[j], lons[j]) <= diameter
+            if close.any():
+                edges_a.append(i[close])
+                edges_b.append(j[close])
+        labels = connected_components(
+            len(events),
+            np.concatenate(edges_a) if edges_a else np.zeros(0, dtype=np.int64),
+            np.concatenate(edges_b) if edges_b else np.zeros(0, dtype=np.int64),
+        )
 
         clusters: Dict[int, List[CrossingEvent]] = {}
         for idx, event in enumerate(events):
-            clusters.setdefault(uf.find(idx), []).append(event)
+            clusters.setdefault(int(labels[idx]), []).append(event)
 
         zones: List[MixZone] = []
         for cluster in clusters.values():
-            lats = np.array([e.lat for e in cluster])
-            lons = np.array([e.lon for e in cluster])
-            times = np.array([e.timestamp for e in cluster])
+            cluster_lats = np.array([e.lat for e in cluster])
+            cluster_lons = np.array([e.lon for e in cluster])
+            cluster_times = np.array([e.timestamp for e in cluster])
             participants = frozenset(
                 user for e in cluster for user in (e.user_a, e.user_b)
             )
             zones.append(
                 MixZone(
-                    center_lat=float(lats.mean()),
-                    center_lon=float(lons.mean()),
+                    center_lat=float(cluster_lats.mean()),
+                    center_lon=float(cluster_lons.mean()),
                     radius_m=cfg.radius_m,
-                    t_start=float(times.min() - cfg.max_time_gap_s),
-                    t_end=float(times.max() + cfg.max_time_gap_s),
+                    t_start=float(cluster_times.min() - cfg.max_time_gap_s),
+                    t_end=float(cluster_times.max() + cfg.max_time_gap_s),
                     participants=participants,
                 )
             )

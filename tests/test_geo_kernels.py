@@ -1,0 +1,274 @@
+"""Tests for the columnar kernel layer (repro.geo.kernels)."""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.geo.kernels import (
+    ColumnarTraces,
+    SyncedDistances,
+    colocation_events,
+    connected_components,
+    iter_neighbor_pairs,
+    masked_mean_distances,
+)
+
+from .conftest import make_line_trajectory
+
+
+def small_dataset_trio() -> MobilityDataset:
+    a = make_line_trajectory(user_id="a", n_points=5, start_time=0.0)
+    b = make_line_trajectory(user_id="b", n_points=3, start_time=100.0)
+    c = Trajectory.empty("c")
+    return MobilityDataset([a, b, c])
+
+
+class TestColumnarTraces:
+    def test_flattened_shapes_and_offsets(self):
+        traces = small_dataset_trio().columnar()
+        assert traces.user_ids == ["a", "b", "c"]
+        assert traces.n_points == 8
+        assert traces.n_users == 3
+        assert traces.n_observed_users == 2
+        assert list(traces.offsets) == [0, 5, 8, 8]
+        assert list(traces.user_index) == [0] * 5 + [1] * 3
+        assert traces.user_slice(1) == slice(5, 8)
+
+    def test_per_user_slices_match_trajectories(self):
+        dataset = small_dataset_trio()
+        traces = dataset.columnar()
+        for k, user_id in enumerate(traces.user_ids):
+            sl = traces.user_slice(k)
+            np.testing.assert_array_equal(traces.timestamps[sl], dataset[user_id].timestamps)
+            np.testing.assert_array_equal(traces.lats[sl], dataset[user_id].lats)
+
+    def test_columnar_view_is_cached_and_readonly(self):
+        dataset = small_dataset_trio()
+        assert dataset.columnar() is dataset.columnar()
+        with pytest.raises(ValueError):
+            dataset.columnar().lats[0] = 1.0
+
+    def test_empty_dataset(self):
+        traces = MobilityDataset().columnar()
+        assert traces.n_points == 0 and traces.n_users == 0
+
+    def test_offset_validation(self):
+        with pytest.raises(ValueError):
+            ColumnarTraces(["u"], np.zeros(2), np.zeros(2), np.zeros(2), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            ColumnarTraces(["u"], np.zeros(1), np.zeros(1), np.zeros(1), np.array([0, 2]))
+
+
+def brute_force_neighbor_pairs(rows, cols, buckets):
+    pairs = set()
+    n = len(rows)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (
+                abs(rows[i] - rows[j]) <= 1
+                and abs(cols[i] - cols[j]) <= 1
+                and abs(buckets[i] - buckets[j]) <= 1
+            ):
+                pairs.add((i, j))
+    return pairs
+
+
+class TestBinJoin:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        rows = rng.integers(-3, 4, n)
+        cols = rng.integers(0, 5, n)
+        buckets = rng.integers(-2, 3, n)
+        got = set()
+        for i, j in iter_neighbor_pairs(rows, cols, buckets):
+            for a, b in zip(i, j):
+                pair = (int(a), int(b))
+                assert pair not in got, "pair emitted twice"
+                got.add(pair)
+        assert got == brute_force_neighbor_pairs(rows, cols, buckets)
+
+    def test_empty_and_single_point(self):
+        empty = np.zeros(0, dtype=int)
+        assert list(iter_neighbor_pairs(empty, empty, empty)) == []
+        one = np.zeros(1, dtype=int)
+        assert list(iter_neighbor_pairs(one, one, one)) == []
+
+    def test_batched_emission_matches_unbatched(self, monkeypatch):
+        """Tiny batch caps (dense-bin memory guard) must not change the pairs."""
+        import repro.geo.kernels as kernels
+
+        rng = np.random.default_rng(11)
+        n = 50
+        rows = rng.integers(0, 2, n)  # dense: few bins, many points each
+        cols = rng.integers(0, 2, n)
+        buckets = rng.integers(0, 2, n)
+        expected = brute_force_neighbor_pairs(rows, cols, buckets)
+        monkeypatch.setattr(kernels, "_MAX_PAIRS_PER_BATCH", 7)
+        got = set()
+        for i, j in iter_neighbor_pairs(rows, cols, buckets):
+            assert i.size <= 7 + n  # one B-range may overhang the cap
+            for a, b in zip(i, j):
+                pair = (int(a), int(b))
+                assert pair not in got
+                got.add(pair)
+        assert got == expected
+
+
+class TestSpatialTimeBins:
+    def test_adjacency_holds_at_extreme_latitudes(self):
+        """The lon cell width must cover the radius at every data latitude.
+
+        A low-latitude point drags the mean latitude down; binning at the
+        mean would let two high-latitude points within the radius land two
+        columns apart and be dropped by the ±1-bin join.
+        """
+        from repro.geo.distance import haversine, meters_per_degree
+
+        _, lon_m_60 = meters_per_degree(60.0)
+        lon_gap = 95.0 / lon_m_60  # ~95 m apart at latitude 60
+        a = Trajectory("a", [0.0], [60.0], [10.0])
+        b = Trajectory("b", [10.0], [60.0], [10.0 + lon_gap])
+        low = Trajectory("low", [0.0], [5.0], [10.0])
+        assert haversine(60.0, 10.0, 60.0, 10.0 + lon_gap) < 100.0
+        traces = MobilityDataset([a, b, low]).columnar()
+        i, j, *_ = colocation_events(traces, radius_m=100.0, max_time_gap_s=60.0)
+        pairs = {(traces.user_ids[int(traces.user_index[x])],
+                  traces.user_ids[int(traces.user_index[y])]) for x, y in zip(i, j)}
+        assert ("a", "b") in pairs
+
+
+class TestColocationEvents:
+    def test_confirms_distance_time_and_distinct_users(self):
+        # Two users at the same place 30 s apart, a third far away.
+        a = make_line_trajectory(user_id="a", n_points=4, start_time=0.0)
+        b = make_line_trajectory(user_id="b", n_points=4, start_time=30.0)
+        far = make_line_trajectory(user_id="far", n_points=4, start_time=0.0)
+        far = Trajectory("far", far.timestamps, np.asarray(far.lats) + 1.0, far.lons)
+        traces = MobilityDataset([a, b, far]).columnar()
+        i, j, mid_lat, mid_lon, mid_ts = colocation_events(
+            traces, radius_m=100.0, max_time_gap_s=60.0, merge_gap_s=600.0
+        )
+        assert i.size >= 1
+        users = {(traces.user_ids[int(traces.user_index[a_])], traces.user_ids[int(traces.user_index[b_])])
+                 for a_, b_ in zip(i, j)}
+        assert users == {("a", "b")}
+
+    def test_dedup_keeps_one_event_per_pair_and_window(self):
+        a = make_line_trajectory(user_id="a", n_points=20, interval_s=10.0, start_time=0.0)
+        b = make_line_trajectory(user_id="b", n_points=20, interval_s=10.0, start_time=0.0)
+        traces = MobilityDataset([a, b]).columnar()
+        i, j, *_ = colocation_events(traces, radius_m=100.0, max_time_gap_s=60.0, merge_gap_s=600.0)
+        # All fixes co-locate, but one user pair in one 600 s window -> 1 event.
+        assert i.size == 1
+        # i < j and the canonical representative is the smallest index pair.
+        assert int(i[0]) == 0 and int(j[0]) == 20
+
+    def test_single_user_produces_nothing(self):
+        traces = MobilityDataset([make_line_trajectory()]).columnar()
+        i, j, *_ = colocation_events(traces, radius_m=100.0, max_time_gap_s=60.0)
+        assert i.size == 0
+
+
+class TestConnectedComponents:
+    def _oracle(self, n, edges):
+        labels = list(range(n))
+
+        def find(x):
+            while labels[x] != x:
+                x = labels[x]
+            return x
+
+        for a, b in edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                labels[rb] = ra
+        return [find(i) for i in range(n)]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_union_find(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        edges = rng.integers(0, n, (60, 2))
+        labels = connected_components(n, edges[:, 0], edges[:, 1])
+        oracle = self._oracle(n, edges.tolist())
+        # Same partition: identical equivalence classes.
+        def groups(values):
+            by = {}
+            for idx, v in enumerate(values):
+                by.setdefault(v, set()).add(idx)
+            return sorted(map(frozenset, by.values()), key=min)
+        assert groups(labels.tolist()) == groups(oracle)
+
+    def test_no_edges(self):
+        labels = connected_components(4, np.zeros(0, dtype=int), np.zeros(0, dtype=int))
+        assert len(set(labels.tolist())) == 4
+
+    def test_numpy_fallback_without_scipy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        monkeypatch.setitem(sys.modules, "scipy.sparse", None)
+        edges = np.array([[0, 1], [2, 3], [1, 2], [5, 6]])
+        labels = connected_components(7, edges[:, 0], edges[:, 1])
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+        assert labels[5] == labels[6]
+        assert len({int(labels[0]), int(labels[4]), int(labels[5])}) == 3
+
+
+class TestSyncedKernels:
+    def _stack(self, seed=0, n=5, g=30):
+        rng = np.random.default_rng(seed)
+        grid = np.arange(g) * 60.0
+        stack = np.full((n, g, 2), np.nan)
+        for k in range(n):
+            lo, hi = sorted(rng.choice(g, 2, replace=False))
+            if hi - lo < 2:
+                lo, hi = 0, g
+            stack[k, lo:hi] = rng.uniform(-500.0, 500.0, (hi - lo, 2))
+        return grid, stack
+
+    def test_masked_mean_distances_matches_scalar(self):
+        _, stack = self._stack(seed=3)
+        from repro.baselines.wait4me import Wait4MeMechanism
+
+        got = masked_mean_distances(stack, 0, np.arange(1, stack.shape[0]))
+        expected = [
+            Wait4MeMechanism._trajectory_distance(stack[0], stack[k])
+            for k in range(1, stack.shape[0])
+        ]
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_synced_distances_matches_simple_kernel(self):
+        _, stack = self._stack(seed=7)
+        synced = SyncedDistances(stack)
+        candidates = np.arange(1, stack.shape[0])
+        np.testing.assert_allclose(
+            synced.distances_from(0, candidates),
+            masked_mean_distances(stack, 0, candidates),
+            rtol=1e-12,
+        )
+        # Scalar query agrees with the batched one.
+        assert synced.pair_distance(0, 2) == pytest.approx(
+            float(synced.distances_from(0, np.array([2]))[0])
+        )
+
+    def test_synced_distances_float32(self):
+        _, stack = self._stack(seed=1)
+        synced32 = SyncedDistances.from_planes(stack[:, :, 0], stack[:, :, 1], dtype=np.float32)
+        candidates = np.arange(1, stack.shape[0])
+        np.testing.assert_allclose(
+            synced32.distances_from(0, candidates),
+            masked_mean_distances(stack, 0, candidates),
+            rtol=1e-5,
+        )
+
+    def test_disjoint_observation_windows_are_infinite(self):
+        stack = np.full((2, 10, 2), np.nan)
+        stack[0, :4] = 1.0
+        stack[1, 6:] = 2.0
+        assert masked_mean_distances(stack, 0, np.array([1]))[0] == np.inf
+        assert SyncedDistances(stack).distances_from(0, np.array([1]))[0] == np.inf

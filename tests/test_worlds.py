@@ -1,0 +1,147 @@
+"""Tests for the world registry and the GeoLife real-data world."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import RegistryError
+from repro.core.trajectory import MobilityDataset
+from repro.datagen.mobility import generate_world
+from repro.experiments.engine import EvaluationEngine, ExperimentSpec
+from repro.experiments.worlds import (
+    WORLDS,
+    RealWorld,
+    geolife_world,
+    list_worlds,
+    make_world,
+    register_world,
+)
+from repro.io.geolife import write_geolife_directory
+
+from .conftest import make_stop_and_go_trajectory
+
+
+class TestWorldRegistry:
+    def test_builtin_names(self):
+        names = list_worlds()
+        assert {"standard", "crossing", "figure1", "generate", "geolife"} <= set(names)
+
+    def test_make_world_specs(self):
+        world = make_world("generate:n_users=2,n_days=1,seed=3")
+        assert len(world.dataset) == 2
+        world = make_world("standard:scale=tiny,seed=5")
+        assert len(world.dataset) == 2
+
+    def test_aliases_resolve(self):
+        assert "crossing-rich" in WORLDS
+
+    def test_unknown_world_rejected(self):
+        with pytest.raises(RegistryError, match="unknown world"):
+            make_world("atlantis")
+
+    def test_custom_registration(self):
+        @register_world("test-world-tmp")
+        def _factory(n: int = 3):
+            return RealWorld(
+                "test-world-tmp",
+                generate_world(n_users=n, n_days=1, seed=0).dataset,
+            )
+
+        try:
+            world = make_world("test-world-tmp:n=2")
+            assert len(world.dataset) == 2
+        finally:
+            WORLDS.unregister("test-world-tmp")
+
+    def test_geolife_requires_path(self):
+        with pytest.raises(RegistryError, match="path"):
+            make_world("geolife")
+
+
+class TestRealWorld:
+    def test_derived_pois_found_at_the_stop(self):
+        trajectory = make_stop_and_go_trajectory(user_id="u1", stop_minutes=30.0)
+        world = RealWorld("test", MobilityDataset([trajectory]))
+        pois = world.true_pois_of("u1", min_stay_s=900.0)
+        assert len(pois) >= 1
+        assert pois[0].poi_id.startswith("u1/")
+        # The cache returns the same list object.
+        assert world.true_pois_of("u1", min_stay_s=900.0) is pois
+
+    def test_user_ids_follow_dataset(self):
+        world = RealWorld("test", generate_world(n_users=3, n_days=1, seed=1).dataset)
+        assert world.user_ids == world.dataset.user_ids
+
+
+@pytest.fixture(scope="module")
+def geolife_dir(tmp_path_factory):
+    """A synthetic world exported as a GeoLife PLT directory tree."""
+    world = generate_world(n_users=4, n_days=1, seed=3)
+    root = tmp_path_factory.mktemp("geolife")
+    write_geolife_directory(root, world.dataset)
+    return root, world
+
+
+class TestGeoLifeWorld:
+    def test_roundtrip_dataset(self, geolife_dir):
+        root, source = geolife_dir
+        world = make_world(f"geolife:path={root}")
+        assert set(world.user_ids) == set(source.dataset.user_ids)
+        assert world.dataset.n_points == source.dataset.n_points
+
+    def test_max_users_and_min_points(self, geolife_dir):
+        root, _ = geolife_dir
+        world = make_world(f"geolife:path={root},max_users=2")
+        assert len(world.dataset) == 2
+        world = geolife_world(path=str(root), min_points=10**9)
+        assert len(world.dataset) == 0
+
+    def test_max_gap_filter(self, geolife_dir):
+        root, _ = geolife_dir
+        dense = geolife_world(path=str(root), max_gap_s=3600.0)
+        assert len(dense.dataset) > 0
+
+    def test_engine_runs_every_runner_on_geolife(self, geolife_dir):
+        from repro.experiments.runner import (
+            run_area_coverage,
+            run_mixzone_stats,
+            run_poi_retrieval,
+            run_reidentification,
+            run_spatial_distortion,
+            run_tracking,
+        )
+
+        root, _ = geolife_dir
+        world = make_world(f"geolife:path={root},max_users=3")
+        mechanisms = {"raw": "identity", "paper": "promesse:seed=0"}
+
+        rows = run_poi_retrieval(world, mechanisms)
+        assert len(rows) == 2 and rows[0]["f_score"] == 1.0
+        rows = run_spatial_distortion(world, mechanisms)
+        assert rows[0]["median_m"] == 0.0
+        rows = run_area_coverage(world, {"raw": "identity"}, cell_sizes_m=(200.0,))
+        assert rows[0]["f_score"] == 1.0
+        rows = run_mixzone_stats(world, zone_radii_m=(100.0,))
+        assert rows[0]["n_zones"] >= 0
+        rows = run_reidentification(world)
+        assert all(0.0 <= r["poi_attack_rate"] <= 1.0 for r in rows)
+        rows = run_tracking(world, zone_radii_m=(100.0,))
+        assert 0.0 <= rows[0]["tracking_success"] <= 1.0
+
+    def test_engine_resolves_geolife_spec_string(self, geolife_dir):
+        root, _ = geolife_dir
+        spec = ExperimentSpec(
+            name="geolife-spec",
+            mechanisms=["identity", "downsampling:factor=5"],
+            metrics=["point-retention"],
+            worlds=[f"geolife:path={root},max_users=2"],
+        )
+        rows = EvaluationEngine().run(spec)
+        assert len(rows) == 2
+        assert rows[0]["point_retention"] == 1.0
+        assert rows[1]["point_retention"] < 1.0
+
+    def test_missing_directory_raises(self):
+        with pytest.raises(FileNotFoundError):
+            make_world("geolife:path=/nonexistent/geolife/root")
