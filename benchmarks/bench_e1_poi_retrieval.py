@@ -6,15 +6,35 @@ comparison suite, and the scores are computed against the ground-truth POIs of
 the synthetic world.  The expected shape: raw and down-sampled data leak every
 POI, Geo-Indistinguishability leaves the majority recoverable, the paper's
 mechanisms hide almost all of them.
+
+``test_e1_poi_attack_engines`` additionally times the two attacks under both
+implementations (columnar kernels versus the scalar reference oracles) on the
+raw workload and records the comparison in ``BENCH_e1_poi.<scale>.json`` —
+the artifact the CI benchmark-regression gate diffs against its committed
+baseline.
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.attacks.djcluster import DjCluster, DjClusterConfig
+from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
 from repro.experiments.formatting import format_table
 from repro.experiments.runner import run_poi_retrieval
 
 
 HEADERS = ["mechanism", "attack", "precision", "recall", "f_score", "n_true_pois", "n_extracted"]
+
+#: Pre-refactor wall seconds of `extract_dataset` on the raw standard world,
+#: by (attack, scale): the point-by-point implementations at commit 2871a92,
+#: best of three runs on the same workloads this bench generates.
+PRE_REFACTOR_S = {
+    ("staypoint", "small"): 0.0345,
+    ("staypoint", "medium"): 0.2487,
+    ("djcluster", "small"): 0.9271,
+    ("djcluster", "medium"): 13.66,
+}
 
 
 def test_e1_poi_retrieval_staypoint(benchmark, eval_world):
@@ -47,3 +67,82 @@ def test_e1_poi_retrieval_djcluster(benchmark, eval_world):
     by_name = {r["mechanism"]: r for r in rows}
     assert by_name["raw"]["recall"] > 0.8
     assert by_name["smoothing-eps100"]["recall"] < by_name["raw"]["recall"]
+
+
+def _best_of(fn, repeats: int = 3):
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_e1_poi_attack_engines(eval_world, bench_artifact, evaluation_scale):
+    """Both POI attacks, columnar kernels versus the scalar reference oracles."""
+    dataset = eval_world.dataset
+    dataset.columnar()  # shared cache: time the attacks, not the flattening
+    attacks = {
+        "staypoint": lambda engine: PoiExtractor(
+            PoiExtractionConfig(engine=engine)
+        ).extract_dataset(dataset),
+        "djcluster": lambda engine: DjCluster(
+            DjClusterConfig(engine=engine)
+        ).extract_dataset(dataset),
+    }
+
+    timings, rows = {}, []
+    for attack, run in attacks.items():
+        vec_out, vec_s = _best_of(lambda: run("vectorized"))
+        # The reference oracles are quadratic-ish: one timed run is plenty.
+        ref_out, ref_s = _best_of(lambda: run("reference"), repeats=1)
+        assert vec_out == ref_out, f"{attack}: engines must produce identical POIs"
+        before = PRE_REFACTOR_S.get((attack, evaluation_scale))
+        timings[f"{attack}_vectorized"] = {
+            "wall_s": vec_s,
+            "points_per_s": dataset.n_points / vec_s if vec_s > 0 else None,
+            "pre_refactor_wall_s": before,
+            "speedup_vs_reference": ref_s / vec_s if vec_s > 0 else None,
+        }
+        timings[f"{attack}_reference"] = {"wall_s": ref_s}
+        rows.append(
+            {
+                "attack": attack,
+                "vectorized_s": vec_s,
+                "reference_s": ref_s,
+                "speedup": ref_s / vec_s if vec_s > 0 else None,
+                "n_pois": sum(len(v) for v in vec_out.values()),
+            }
+        )
+
+    path = bench_artifact(
+        "e1_poi",
+        timings=timings,
+        rows=rows,
+        baseline={
+            "pre_refactor": {
+                attack: seconds
+                for (attack, scale), seconds in PRE_REFACTOR_S.items()
+                if scale == evaluation_scale
+            },
+            "measured_at_commit": "pre-PR (2871a92)",
+        },
+        extra={"workload": {"users": len(dataset), "points": dataset.n_points}},
+    )
+    print()
+    print(format_table(
+        ["attack", "vectorized_s", "reference_s", "speedup", "n_pois"],
+        [[r[h] for h in ("attack", "vectorized_s", "reference_s", "speedup", "n_pois")]
+         for r in rows],
+        title=f"E1 attack engines at scale={evaluation_scale} (artifact: {path})",
+    ))
+
+    # The acceptance bar of the columnar port: >= 3x at the medium workload.
+    # Timings at other scales are recorded but not asserted (the CI smoke
+    # runs at small scale on noisy shared runners).
+    if evaluation_scale == "medium":
+        for row in rows:
+            assert row["speedup"] >= 3.0, (
+                f"{row['attack']}: vectorized engine must be >= 3x the reference "
+                f"at medium scale, got {row['speedup']:.2f}x"
+            )

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: diff fresh ``BENCH_*.json`` artifacts against
+the committed baselines and fail on large slowdowns.
+
+Usage::
+
+    python benchmarks/compare_artifacts.py \
+        [--baseline benchmarks/artifacts] [--candidate DIR] \
+        [--threshold 0.30]
+
+Every candidate artifact whose file name also exists under the baseline
+directory is compared cell by cell: each timing cell present in both files
+contributes the ratio ``candidate wall_s / baseline wall_s``.  An artifact
+*regresses* when the **median** of its cell ratios exceeds
+``1 + threshold`` (default: a 30 % median slowdown) — the median tolerates
+one noisy cell while still catching a hot path that genuinely slowed down.
+The exit status is non-zero when any compared artifact regresses, or when
+the two directories share no artifact at all (an empty comparison must not
+pass silently).
+
+Artifacts only present on one side are reported but never fail the gate:
+baselines are committed at specific scales, and a quick local run at another
+scale should not trip CI.  Median speedups are reported too, as a nudge to
+refresh the committed baselines when the hot paths got faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+
+def load_wall_times(path: Path) -> Dict[str, float]:
+    """Map of timing cell -> wall seconds for one artifact (empty on error)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    timings = payload.get("timings")
+    if not isinstance(timings, dict):
+        return {}
+    cells: Dict[str, float] = {}
+    for cell, values in timings.items():
+        wall = values.get("wall_s") if isinstance(values, dict) else None
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool) and wall > 0:
+            cells[str(cell)] = float(wall)
+    return cells
+
+
+def compare_artifact(
+    baseline: Path, candidate: Path
+) -> Tuple[Optional[float], List[str]]:
+    """``(median ratio, per-cell lines)`` for one artifact pair.
+
+    The ratio is ``None`` when the two files share no timed cell (schema
+    drift or a renamed cell set — reported, not silently skipped).
+    """
+    base_cells = load_wall_times(baseline)
+    cand_cells = load_wall_times(candidate)
+    shared = sorted(set(base_cells) & set(cand_cells))
+    lines = []
+    ratios = []
+    for cell in shared:
+        ratio = cand_cells[cell] / base_cells[cell]
+        ratios.append(ratio)
+        lines.append(
+            f"    {cell}: {base_cells[cell]:.4f}s -> {cand_cells[cell]:.4f}s"
+            f"  (x{ratio:.2f})"
+        )
+    for cell in sorted(set(base_cells) ^ set(cand_cells)):
+        side = "baseline" if cell in base_cells else "candidate"
+        lines.append(f"    {cell}: only in {side} (not compared)")
+    return (median(ratios) if ratios else None), lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    default_dir = Path(__file__).resolve().parent / "artifacts"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=default_dir,
+        help="directory holding the committed baseline artifacts",
+    )
+    parser.add_argument(
+        "--candidate",
+        type=Path,
+        default=default_dir,
+        help="directory holding the freshly generated artifacts",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_GATE_THRESHOLD", "0.30")),
+        help="maximum tolerated fractional median slowdown (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0.0:
+        parser.error(f"--threshold must be positive, got {args.threshold}")
+
+    baseline_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
+    candidate_files = {p.name: p for p in sorted(args.candidate.glob("BENCH_*.json"))}
+    shared_names = sorted(set(baseline_files) & set(candidate_files))
+    if not shared_names:
+        print(
+            f"FAIL: no artifact names shared between {args.baseline} "
+            f"({len(baseline_files)} artifacts) and {args.candidate} "
+            f"({len(candidate_files)} artifacts)"
+        )
+        return 2
+
+    limit = 1.0 + args.threshold
+    regressions = 0
+    for name in shared_names:
+        ratio, lines = compare_artifact(baseline_files[name], candidate_files[name])
+        if ratio is None:
+            regressions += 1
+            verdict = "FAIL (no comparable timing cells)"
+        elif ratio > limit:
+            regressions += 1
+            verdict = f"FAIL (median x{ratio:.2f} > x{limit:.2f})"
+        elif ratio < 1.0 / limit:
+            verdict = f"ok   (median x{ratio:.2f} — consider refreshing the baseline)"
+        else:
+            verdict = f"ok   (median x{ratio:.2f})"
+        print(f"{name}: {verdict}")
+        for line in lines:
+            print(line)
+    for name in sorted(set(baseline_files) ^ set(candidate_files)):
+        side = "baseline" if name in baseline_files else "candidate"
+        print(f"{name}: only in {side} (not compared)")
+
+    print(
+        f"{len(shared_names) - regressions}/{len(shared_names)} compared artifacts "
+        f"within x{limit:.2f} of baseline"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

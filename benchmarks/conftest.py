@@ -28,8 +28,14 @@ from repro.experiments.workloads import crossing_rich_world, standard_world
 #: (e.g. "small" for a quicker pass, as the CI smoke step does).
 EVALUATION_SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
 
-#: Where BENCH_*.json artifacts are written.
-ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+#: Where BENCH_*.json artifacts are written.  REPRO_BENCH_ARTIFACT_DIR
+#: redirects the writer, so CI can generate fresh artifacts into a scratch
+#: directory and diff them against the committed baselines
+#: (benchmarks/compare_artifacts.py) without touching the checkout.
+ARTIFACT_DIR = Path(
+    os.environ.get("REPRO_BENCH_ARTIFACT_DIR")
+    or Path(__file__).resolve().parent / "artifacts"
+)
 
 #: Version of the artifact schema (checked by validate_artifacts.py).
 BENCH_SCHEMA_VERSION = 1

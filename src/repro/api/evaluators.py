@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -114,12 +114,17 @@ class PoiRetrievalEvaluator:
     min_stay_s: float = 900.0
     adaptive: bool = True
     base_diameter_m: float = 200.0
+    engine: str = "vectorized"
     name: str = field(default="poi-retrieval", init=False)
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("staypoint", "djcluster"):
             raise RegistryError(
                 f"unknown attack {self.algorithm!r}; choose 'staypoint' or 'djcluster'"
+            )
+        if self.engine not in ("vectorized", "reference"):
+            raise RegistryError(
+                f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
             )
 
     def _diameter(self, result: PublicationResult) -> float:
@@ -145,10 +150,13 @@ class PoiRetrievalEvaluator:
                     min_duration_s=self.min_stay_s,
                     max_diameter_m=diameter,
                     merge_distance_m=diameter / 2.0,
+                    engine=self.engine,
                 )
             )
             return extractor.extract_dataset
-        clusterer = DjCluster(DjClusterConfig(eps_m=max(100.0, diameter / 2.0)))
+        clusterer = DjCluster(
+            DjClusterConfig(eps_m=max(100.0, diameter / 2.0), engine=self.engine)
+        )
         return clusterer.extract_dataset
 
     def run(self, result: PublicationResult, context=None) -> Dict[str, object]:

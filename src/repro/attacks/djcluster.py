@@ -15,6 +15,18 @@ Experiment E1 reports both.
 The implementation first removes "moving" fixes (speed above
 ``max_stationary_speed_mps``), then runs a density-based clustering with
 radius ``eps_m`` and minimum neighbourhood size ``min_points``.
+
+By default the attack runs on the columnar kernel layer: the stationary
+pre-filter is one masked speed pass over the dataset's flattened view, the
+neighbourhood search a per-user-segmented bin join
+(:func:`repro.geo.kernels.segmented_radius_pairs`), and clusters the
+connected components of the core-point graph.  The original scalar DBSCAN
+is retained as ``engine="reference"`` — the correctness oracle the
+vectorized path is pinned against by property tests.  Both paths implement
+the same deterministic semantics: clusters are numbered by their smallest
+core fix, and a border fix joins the earliest-numbered adjacent cluster
+(exactly what the scalar BFS produces when seeds are scanned in index
+order).
 """
 
 from __future__ import annotations
@@ -25,7 +37,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
-from ..geo.distance import meters_per_degree
+from ..geo.distance import haversine_array, meters_per_degree
+from ..geo.kernels import connected_components, segmented_radius_pairs
 from .poi_extraction import ExtractedPoi
 
 __all__ = ["DjClusterConfig", "DjCluster", "dj_cluster"]
@@ -38,12 +51,16 @@ class DjClusterConfig:
     ``eps_m`` is the neighbourhood radius, ``min_points`` the minimum number of
     fixes for a dense neighbourhood, and ``max_stationary_speed_mps`` the speed
     below which a fix is considered stationary (the pre-filtering step of the
-    original algorithm).
+    original algorithm).  ``engine`` selects the implementation:
+    ``"vectorized"`` (default) runs the columnar bin-join kernels,
+    ``"reference"`` the retained scalar DBSCAN of the same semantics (the
+    equivalence oracle — quadratic, small inputs only).
     """
 
     eps_m: float = 100.0
     min_points: int = 10
     max_stationary_speed_mps: float = 1.0
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.eps_m <= 0.0:
@@ -52,6 +69,10 @@ class DjClusterConfig:
             raise ValueError("min_points must be at least 2")
         if self.max_stationary_speed_mps <= 0.0:
             raise ValueError("max_stationary_speed_mps must be positive")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {self.engine!r}"
+            )
 
 
 class DjCluster:
@@ -62,6 +83,164 @@ class DjCluster:
 
     def extract(self, trajectory: Trajectory) -> List[ExtractedPoi]:
         """Clusters of stationary fixes, reported as :class:`ExtractedPoi`."""
+        if self.config.engine == "reference":
+            return self._extract_reference(trajectory)
+        n = len(trajectory)
+        if n < self.config.min_points:
+            return []
+        return self._extract_vectorized(
+            trajectory.user_id,
+            np.asarray(trajectory.timestamps),
+            np.asarray(trajectory.lats),
+            np.asarray(trajectory.lons),
+            self._stationary_mask(trajectory),
+        )
+
+    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
+        """Run the attack on every user of a dataset.
+
+        The vectorized engine computes the stationary pre-filter as one
+        masked speed pass over the dataset's cached columnar view, then
+        clusters each user's stationary fixes; the reference engine walks
+        trajectories one by one.
+        """
+        if self.config.engine == "reference":
+            return {traj.user_id: self.extract(traj) for traj in dataset}
+        traces = dataset.columnar()
+        stationary = self._stationary_mask_columnar(traces)
+        # One clustering pass per user, not one giant segmented join: the
+        # pair volume (dense stays are near-cliques, ~27M confirmed pairs at
+        # medium scale) makes forty cache-sized join + component passes
+        # measurably faster (~2x) than a single dataset-wide pass.  The
+        # segment machinery of `segmented_radius_pairs` exists for callers
+        # whose per-segment working sets are small — and is pinned by direct
+        # kernel tests.
+        out: Dict[str, List[ExtractedPoi]] = {}
+        for k, user_id in enumerate(traces.user_ids):
+            span = traces.user_slice(k)
+            if span.stop - span.start < self.config.min_points:
+                out[user_id] = []
+                continue
+            out[user_id] = self._extract_vectorized(
+                user_id,
+                traces.timestamps[span],
+                traces.lats[span],
+                traces.lons[span],
+                stationary[span],
+            )
+        return out
+
+    # -- vectorized engine -------------------------------------------------------
+
+    def _extract_vectorized(
+        self,
+        user_id: str,
+        ts: np.ndarray,
+        lats: np.ndarray,
+        lons: np.ndarray,
+        stationary: np.ndarray,
+    ) -> List[ExtractedPoi]:
+        """Bin-join + connected-components clustering of one user's fixes."""
+        cfg = self.config
+        idx = np.nonzero(stationary)[0]
+        m = idx.size
+        if m < cfg.min_points:
+            return []
+
+        # Project to meters for Euclidean neighbourhood queries (identical
+        # arithmetic to the reference engine: offsets from the full-trace
+        # mean, scaled by the meters-per-degree at the mean latitude).
+        lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
+        xs = (lons[idx] - float(np.mean(lons))) * lon_m
+        ys = (lats[idx] - float(np.mean(lats))) * lat_m
+
+        pair_a, pair_b = segmented_radius_pairs(
+            xs, ys, np.zeros(m, dtype=np.int64), cfg.eps_m
+        )
+        labels = self._cluster_pairs(m, pair_a, pair_b)
+        return self._pois_from_labels(user_id, ts, lats, lons, idx, labels)
+
+    def _cluster_pairs(
+        self, m: int, pair_a: np.ndarray, pair_b: np.ndarray
+    ) -> np.ndarray:
+        """Density-cluster labels from confirmed neighbour pairs (-1 = noise).
+
+        Cores are points with at least ``min_points`` neighbours (the point
+        itself included); clusters are the connected components of the
+        core-core adjacency graph, numbered by their smallest core; border
+        points take the smallest-numbered adjacent cluster.
+        """
+        counts = (
+            1
+            + np.bincount(pair_a, minlength=m)
+            + np.bincount(pair_b, minlength=m)
+        )
+        core = counts >= self.config.min_points
+
+        labels = np.full(m, -1, dtype=np.int64)
+        if not core.any():
+            return labels
+
+        both_core = core[pair_a] & core[pair_b]
+        component = connected_components(m, pair_a[both_core], pair_b[both_core])
+
+        # Rank components that contain cores by their smallest core index:
+        # rank 0 is the cluster the scalar BFS would discover first.
+        core_pos = np.nonzero(core)[0]
+        min_core = np.full(m, m, dtype=np.int64)
+        np.minimum.at(min_core, component[core_pos], core_pos)
+        cluster_ids = np.unique(component[core_pos])
+        cluster_ids = cluster_ids[np.argsort(min_core[cluster_ids], kind="stable")]
+        rank = np.full(m, -1, dtype=np.int64)
+        rank[cluster_ids] = np.arange(cluster_ids.size)
+
+        labels[core_pos] = rank[component[core_pos]]
+
+        # Border points: adjacent to >= 1 core, take the smallest rank.
+        border_rank = np.full(m, m, dtype=np.int64)
+        a_core_only = core[pair_a] & ~core[pair_b]
+        np.minimum.at(
+            border_rank, pair_b[a_core_only], rank[component[pair_a[a_core_only]]]
+        )
+        b_core_only = core[pair_b] & ~core[pair_a]
+        np.minimum.at(
+            border_rank, pair_a[b_core_only], rank[component[pair_b[b_core_only]]]
+        )
+        is_border = border_rank < m
+        labels[is_border] = border_rank[is_border]
+        return labels
+
+    @staticmethod
+    def _pois_from_labels(
+        user_id: str,
+        ts: np.ndarray,
+        lats: np.ndarray,
+        lons: np.ndarray,
+        idx: np.ndarray,
+        labels: np.ndarray,
+    ) -> List[ExtractedPoi]:
+        """One :class:`ExtractedPoi` per cluster label, in label order."""
+        pois: List[ExtractedPoi] = []
+        for label in sorted(set(labels.tolist())):
+            if label < 0:
+                continue
+            members = idx[labels == label]
+            pois.append(
+                ExtractedPoi(
+                    user_id=user_id,
+                    lat=float(np.mean(lats[members])),
+                    lon=float(np.mean(lons[members])),
+                    t_start=float(ts[members].min()),
+                    t_end=float(ts[members].max()),
+                    n_points=int(members.size),
+                )
+            )
+        return pois
+
+    # -- reference engine --------------------------------------------------------
+
+    def _extract_reference(self, trajectory: Trajectory) -> List[ExtractedPoi]:
+        """Scalar DBSCAN path (the equivalence oracle for the kernels)."""
         cfg = self.config
         n = len(trajectory)
         if n < cfg.min_points:
@@ -82,26 +261,7 @@ class DjCluster:
         ys = (lats[idx] - float(np.mean(lats))) * lat_m
 
         labels = self._dbscan(xs, ys, cfg.eps_m, cfg.min_points)
-        pois: List[ExtractedPoi] = []
-        for label in sorted(set(labels)):
-            if label < 0:
-                continue
-            members = idx[labels == label]
-            pois.append(
-                ExtractedPoi(
-                    user_id=trajectory.user_id,
-                    lat=float(np.mean(lats[members])),
-                    lon=float(np.mean(lons[members])),
-                    t_start=float(ts[members].min()),
-                    t_end=float(ts[members].max()),
-                    n_points=int(members.size),
-                )
-            )
-        return pois
-
-    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
-        """Run the attack on every user of a dataset."""
-        return {traj.user_id: self.extract(traj) for traj in dataset}
+        return self._pois_from_labels(trajectory.user_id, ts, lats, lons, idx, labels)
 
     # -- internals -------------------------------------------------------------------
 
@@ -118,12 +278,40 @@ class DjCluster:
         mask[1:] |= below
         return mask
 
+    def _stationary_mask_columnar(self, traces) -> np.ndarray:
+        """The stationary pre-filter as one masked pass over flattened traces.
+
+        Segment speeds are evaluated for every consecutive point pair of the
+        flattened arrays with the exact arithmetic of
+        :meth:`Trajectory.speeds`; pairs spanning two users are masked out
+        before marking, so the result matches the per-trajectory masks.
+        """
+        n = traces.n_points
+        mask = np.zeros(n, dtype=bool)
+        if n < 2:
+            return mask
+        lats, lons, ts = traces.lats, traces.lons, traces.timestamps
+        dist = haversine_array(lats[:-1], lons[:-1], lats[1:], lons[1:])
+        dur = np.diff(ts)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            speeds = np.where(dur > 0.0, dist / np.where(dur > 0.0, dur, 1.0), np.inf)
+        speeds = np.where((dur == 0.0) & (dist == 0.0), 0.0, speeds)
+        below = speeds <= self.config.max_stationary_speed_mps
+        below &= traces.user_index[:-1] == traces.user_index[1:]
+        mask[:-1] |= below
+        mask[1:] |= below
+        return mask
+
     @staticmethod
     def _dbscan(xs: np.ndarray, ys: np.ndarray, eps: float, min_points: int) -> np.ndarray:
         """A compact DBSCAN over planar points; returns labels (-1 = noise).
 
         Complexity is O(n^2) in the number of stationary fixes of one user,
         which stays small (thousands) for the workloads of this reproduction.
+        Seeds are scanned in index order, so clusters are numbered by their
+        smallest core and a border point joins the earliest-numbered
+        adjacent cluster — the deterministic semantics the vectorized engine
+        reproduces.
         """
         n = xs.size
         labels = np.full(n, -1, dtype=int)
@@ -169,6 +357,7 @@ def _djcluster_attack(
     eps_m: float = 100.0,
     min_points: int = 10,
     max_stationary_speed_mps: float = 1.0,
+    engine: str = "vectorized",
 ) -> DjCluster:
     """DJ-Cluster extraction, e.g. ``djcluster:eps_m=250``."""
     return DjCluster(
@@ -176,5 +365,6 @@ def _djcluster_attack(
             eps_m=eps_m,
             min_points=min_points,
             max_stationary_speed_mps=max_stationary_speed_mps,
+            engine=engine,
         )
     )

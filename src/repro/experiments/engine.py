@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api.adapters import publish_result

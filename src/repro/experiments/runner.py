@@ -150,12 +150,15 @@ def run_poi_retrieval(
     min_stay_s: float = 900.0,
     adaptive_attacker: bool = True,
     seeds: Sequence[int] = (0,),
+    engine: str = "vectorized",
 ) -> List[Dict[str, object]]:
     """Experiment E1: POI retrieval precision / recall / F-score per mechanism.
 
     ``attack`` selects the extraction algorithm (``"staypoint"`` or
-    ``"djcluster"``).  POIs are pooled across users before scoring because
-    published identifiers may be pseudonymous or swapped.
+    ``"djcluster"``) and ``engine`` its implementation (``"vectorized"``
+    columnar kernels by default; ``"reference"`` the scalar oracles).  POIs
+    are pooled across users before scoring because published identifiers may
+    be pseudonymous or swapped.
 
     When ``adaptive_attacker`` is true (default), the attack parameters are
     scaled to each mechanism's *announced* noise level
@@ -169,7 +172,8 @@ def run_poi_retrieval(
         raise ValueError(f"unknown attack {attack!r}; choose 'staypoint' or 'djcluster'")
     attack_spec = (
         f"poi-retrieval:algorithm={attack},match_distance_m={match_distance_m!r},"
-        f"min_stay_s={min_stay_s!r},adaptive={str(bool(adaptive_attacker)).lower()}"
+        f"min_stay_s={min_stay_s!r},adaptive={str(bool(adaptive_attacker)).lower()},"
+        f"engine={engine}"
     )
     spec = ExperimentSpec(
         name="e1-poi-retrieval",

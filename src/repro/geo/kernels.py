@@ -20,7 +20,15 @@ rebuilt on:
   synchronized-trajectory distances over grid-resampled coordinate matrices
   (NaN marking unobserved steps): the one-shot reference form, and the
   allocation-free workspace Wait-For-Me's greedy clustering queries each
-  round.
+  round;
+* :func:`windowed_stay_spans` — the vectorized sliding stay-point scan
+  (POI extraction): per-anchor window reaches are resolved in batched probe
+  rounds, skipping ahead along the cumulative path extent (the travelled arc
+  length upper-bounds any anchor distance, so whole stretches of a window are
+  certified in-diameter without evaluating a single pairwise distance);
+* :func:`segmented_radius_pairs` — the planar radius join (DJ-Cluster):
+  every point pair within a radius, restricted to pairs of the same segment
+  (user), via the same ±1-bin join as :func:`iter_neighbor_pairs`.
 
 Kernels operate on plain numpy arrays (no trajectory types), which keeps this
 module importable from anywhere in the library without cycles.
@@ -28,6 +36,7 @@ module importable from anywhere in the library without cycles.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,6 +51,8 @@ __all__ = [
     "connected_components",
     "masked_mean_distances",
     "SyncedDistances",
+    "windowed_stay_spans",
+    "segmented_radius_pairs",
 ]
 
 
@@ -512,3 +523,170 @@ class SyncedDistances:
         batched queries bit-for-bit.
         """
         return float(self.distances_from(a, np.array([b]))[0])
+
+
+# ---------------------------------------------------------------------------
+# Windowed extent scan (stay-point extraction)
+# ---------------------------------------------------------------------------
+
+#: Safety margin in meters subtracted from every cumulative-extent skip.  The
+#: triangle inequality guaranteeing skipped points are in-diameter holds in
+#: exact arithmetic; one millimeter dwarfs the accumulated float error of any
+#: realistic cumulative path sum while being far below any meaningful stay
+#: diameter, so certified skips can never disagree with an exact distance test.
+_STAY_SKIP_MARGIN_M = 1e-3
+
+
+def windowed_stay_spans(
+    timestamps: np.ndarray,
+    lats: np.ndarray,
+    lons: np.ndarray,
+    offsets: np.ndarray,
+    max_diameter_m: float,
+    min_duration_s: float,
+    max_gap_s: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stay-point spans of flattened per-user traces, as index intervals.
+
+    Implements the classic two-pointer stay-point scan (Li et al.): from an
+    anchor fix ``i`` the window extends to the first fix ``j`` that either
+    lies more than ``max_diameter_m`` meters from the anchor or follows a
+    sampling gap longer than ``max_gap_s``; when the window spans at least
+    ``min_duration_s`` seconds (and two fixes) a stay ``[i, j)`` is emitted
+    and the scan restarts at ``j``, otherwise at ``i + 1``.  Windows never
+    cross the user boundaries described by ``offsets``.
+
+    The scan is resolved without walking fixes in Python.  Per-anchor window
+    *reaches* are computed in batched probe rounds over all unresolved
+    anchors at once: each round confirms one candidate fix per anchor with a
+    batched haversine call, and anchors whose candidate is still in-diameter
+    skip ahead along the cumulative travelled path — every fix whose arc
+    length from the current candidate is below the remaining diameter slack
+    is within the diameter by the triangle inequality, so dense stretches of
+    a stay are certified wholesale.  Emission then only touches the anchors
+    whose windows qualify, one step per *emitted stay*.
+
+    Returns ``(starts, ends)``: int64 arrays of half-open ``[start, end)``
+    spans into the flattened arrays, in scan order.  The result is identical
+    to running the scalar scan user by user.
+    """
+    ts = np.asarray(timestamps, dtype=float)
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = ts.size
+    empty = np.zeros(0, dtype=np.int64)
+    if n < 2:
+        return empty, empty
+
+    # Forced window breaks: the first fix of every user but the first, and
+    # any fix following an over-long sampling gap.  cap[i] is the first break
+    # at or after i + 1 — no window anchored at i may reach past it.
+    user_starts = offsets[1:-1]
+    gap_pos = np.nonzero(np.diff(ts) > max_gap_s)[0] + 1
+    break_pos = np.union1d(user_starts, gap_pos).astype(np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    if break_pos.size:
+        where = np.searchsorted(break_pos, idx, side="right")
+        cap = np.where(
+            where < break_pos.size, break_pos[np.minimum(where, break_pos.size - 1)], n
+        )
+    else:
+        cap = np.full(n, n, dtype=np.int64)
+
+    # Cumulative travelled arc length.  Within one user, cum[j] - cum[i]
+    # upper-bounds the anchor distance haversine(i, j); boundary segments
+    # between users cancel out of any within-user difference, and windows are
+    # capped before ever crossing one.
+    seg = haversine_array(lats[:-1], lons[:-1], lats[1:], lons[1:])
+    cum = np.concatenate([[0.0], np.cumsum(seg)])
+
+    reach = cap.copy()
+    # Initial probes: skip every fix certified in-diameter from the anchor.
+    probe = np.searchsorted(cum, cum + (max_diameter_m - _STAY_SKIP_MARGIN_M), side="left")
+    probe = np.maximum(probe, idx + 1)
+    active = np.nonzero(probe < cap)[0]
+    probe = probe[active]
+    while active.size:
+        d = haversine_array(lats[active], lons[active], lats[probe], lons[probe])
+        far = d > max_diameter_m
+        reach[active[far]] = probe[far]
+        near = ~far
+        active, probe, d = active[near], probe[near], d[near]
+        if not active.size:
+            break
+        slack = (max_diameter_m - d) - _STAY_SKIP_MARGIN_M
+        skipped = np.searchsorted(cum, cum[probe] + slack, side="left")
+        probe = np.maximum(probe + 1, skipped)
+        alive = probe < cap[active]
+        active, probe = active[alive], probe[alive]
+
+    # Qualify anchors, then replay the sequential scan over qualifying
+    # anchors only: between two emissions the scalar scan advances one fix at
+    # a time without emitting, so it lands exactly on the next qualifying
+    # anchor at or after the previous window's end.
+    ok = (reach - idx >= 2) & (ts[reach - 1] - ts >= min_duration_s)
+    candidates = np.nonzero(ok)[0].tolist()
+    reach_list = reach.tolist()
+    starts: List[int] = []
+    pos = 0
+    k = 0
+    n_candidates = len(candidates)
+    while k < n_candidates:
+        anchor = candidates[k]
+        if anchor < pos:
+            k = bisect_left(candidates, pos, k + 1)
+            continue
+        starts.append(anchor)
+        pos = reach_list[anchor]
+        k += 1
+    start_arr = np.asarray(starts, dtype=np.int64)
+    return start_arr, reach[start_arr]
+
+
+# ---------------------------------------------------------------------------
+# Segmented planar radius join (DJ-Cluster)
+# ---------------------------------------------------------------------------
+
+
+def segmented_radius_pairs(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    segments: np.ndarray,
+    radius: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All unordered same-segment point pairs within ``radius``, planar.
+
+    ``xs`` / ``ys`` are planar coordinates in meters, ``segments`` integer
+    segment identifiers (e.g. the owning user); pairs never span two
+    segments.  Candidate pairs come from the ±1 ``iter_neighbor_pairs`` bin
+    join with cell size ``radius`` — segment separation is enforced by
+    spacing segment ids two buckets apart, so distinct segments are never
+    bin-adjacent — and are confirmed with the exact squared planar distance
+    (``dx * dx + dy * dy <= radius * radius``, the same float expression a
+    scalar distance-matrix test evaluates).
+
+    Returns ``(i, j)`` index arrays with ``i < j``.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    segments = np.asarray(segments, dtype=np.int64)
+    if xs.size < 2:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    if radius <= 0.0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    rows = np.floor((ys - ys.min()) / radius).astype(np.int64)
+    cols = np.floor((xs - xs.min()) / radius).astype(np.int64)
+    r2 = radius * radius
+    kept_i: List[np.ndarray] = []
+    kept_j: List[np.ndarray] = []
+    for i, j in iter_neighbor_pairs(rows, cols, segments * 2):
+        dx = xs[i] - xs[j]
+        dy = ys[i] - ys[j]
+        close = dx * dx + dy * dy <= r2
+        if close.any():
+            kept_i.append(i[close])
+            kept_j.append(j[close])
+    if not kept_i:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(kept_i), np.concatenate(kept_j)

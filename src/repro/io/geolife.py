@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from ..core.trajectory import MobilityDataset, Trajectory
 

@@ -22,7 +22,7 @@ tracking experiments (E4, E5) score attackers against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -284,17 +284,14 @@ class MixZoneSwapper:
                 continue
             history = label_history[traj.user_id]
             boundaries = [t for t, _ in history[1:]] + [np.inf]
-            start = -np.inf
             for (from_time, label), until in zip(history, boundaries):
                 seg_mask = (ts >= from_time) & (ts < until)
                 if not np.any(seg_mask):
-                    start = until
                     continue
                 acc.setdefault(label, []).append((ts[seg_mask], lats[seg_mask], lons[seg_mask]))
                 ownership.setdefault(label, []).append(
                     (float(ts[seg_mask].min()), float(ts[seg_mask].max()), traj.user_id)
                 )
-                start = until
 
         trajectories = []
         for label in sorted(acc):

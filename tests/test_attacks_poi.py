@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.attacks.djcluster import DjCluster, DjClusterConfig, dj_cluster
@@ -11,7 +10,7 @@ from repro.attacks.poi_extraction import (
     PoiExtractor,
     extract_pois,
 )
-from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.core.trajectory import Trajectory
 from repro.geo.distance import haversine
 
 from .conftest import LYON_LAT, LYON_LON, make_line_trajectory, make_stop_and_go_trajectory

@@ -43,7 +43,6 @@ class TestZoneLinking:
         assert linkage.links == {}
 
     def test_correctness_scoring(self):
-        traj = make_line_trajectory(user_id="a", n_points=10)
         zone = MixZone(LYON_LAT, LYON_LON, 100.0, 0.0, 10.0, frozenset({"a"}))
         from repro.attacks.tracking import ZoneLinkage
 

@@ -12,7 +12,7 @@ from repro.baselines.geo_indistinguishability import (
     GeoIndistinguishabilityMechanism,
     planar_laplace_noise,
 )
-from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.core.trajectory import Trajectory
 from repro.geo.distance import haversine_array
 
 from .conftest import make_line_trajectory

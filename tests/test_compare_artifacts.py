@@ -1,0 +1,146 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/compare_artifacts.py).
+
+The gate must pass on the committed baselines compared against themselves,
+fail (exit non-zero) on an artificially slowed artifact, and fail loudly on
+an empty comparison — a gate that can silently compare nothing guards
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import compare_artifacts  # noqa: E402
+
+COMMITTED = REPO_ROOT / "benchmarks" / "artifacts"
+
+
+def _write_artifact(directory: Path, name: str, scale: str, cells: dict) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.{scale}.json"
+    payload = {
+        "schema_version": 1,
+        "name": name,
+        "scale": scale,
+        "python": "3.11.0",
+        "timings": {cell: {"wall_s": wall} for cell, wall in cells.items()},
+        "rows": [],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def baseline_dir(tmp_path):
+    directory = tmp_path / "baseline"
+    _write_artifact(
+        directory, "hot", "small", {"detect": 1.0, "publish": 0.5, "extract": 2.0}
+    )
+    return directory
+
+
+def _candidate(tmp_path, cells):
+    directory = tmp_path / "candidate"
+    _write_artifact(directory, "hot", "small", cells)
+    return directory
+
+
+class TestGateVerdicts:
+    def test_identical_artifacts_pass(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 1.0, "publish": 0.5, "extract": 2.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) == 0
+
+    def test_slowed_artifact_fails(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 2.0, "publish": 1.0, "extract": 4.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) != 0
+
+    def test_median_tolerates_one_noisy_cell(self, tmp_path, baseline_dir):
+        # One cell doubled, the other two on baseline: median ratio is 1.0.
+        candidate = _candidate(tmp_path, {"detect": 2.0, "publish": 0.5, "extract": 2.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) == 0
+
+    def test_majority_regression_fails_despite_median(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 1.4, "publish": 0.7, "extract": 2.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) != 0
+
+    def test_threshold_is_configurable(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 1.4, "publish": 0.7, "extract": 2.8})
+        args = ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        assert compare_artifacts.main(args) != 0
+        assert compare_artifacts.main(args + ["--threshold", "0.50"]) == 0
+
+    def test_speedup_passes(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 0.2, "publish": 0.1, "extract": 0.4})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) == 0
+
+
+class TestGateEdgeCases:
+    def test_empty_comparison_fails(self, tmp_path, baseline_dir):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(empty)]
+        ) != 0
+
+    def test_disjoint_artifact_names_fail(self, tmp_path, baseline_dir):
+        candidate = tmp_path / "candidate"
+        _write_artifact(candidate, "other", "small", {"detect": 1.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) != 0
+
+    def test_no_shared_cells_fails(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"renamed_cell": 1.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) != 0
+
+    def test_extra_candidate_artifact_is_ignored(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 1.0, "publish": 0.5, "extract": 2.0})
+        _write_artifact(candidate, "fresh", "small", {"new_cell": 1.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate)]
+        ) == 0
+
+
+class TestCommittedBaselines:
+    def test_committed_baselines_pass_against_themselves(self):
+        """The exact comparison CI bootstraps from must hold on the checkout."""
+        assert sorted(COMMITTED.glob("BENCH_*.json")), "no committed artifacts"
+        assert compare_artifacts.main(
+            ["--baseline", str(COMMITTED), "--candidate", str(COMMITTED)]
+        ) == 0
+
+    def test_slowed_committed_artifact_fails(self, tmp_path):
+        """Demonstrably non-vacuous: a 2x-slowed copy of every committed
+        artifact must trip the gate."""
+        slowed = tmp_path / "slowed"
+        slowed.mkdir()
+        for path in COMMITTED.glob("BENCH_*.json"):
+            payload = json.loads(path.read_text())
+            for values in payload.get("timings", {}).values():
+                if isinstance(values, dict) and isinstance(
+                    values.get("wall_s"), (int, float)
+                ):
+                    values["wall_s"] = values["wall_s"] * 2.0
+            (slowed / path.name).write_text(json.dumps(payload))
+        assert compare_artifacts.main(
+            ["--baseline", str(COMMITTED), "--candidate", str(slowed)]
+        ) != 0

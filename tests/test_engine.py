@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.engine import (
-    EvalContext,
     EvaluationEngine,
     ExperimentSpec,
     make_world,

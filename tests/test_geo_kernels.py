@@ -15,6 +15,8 @@ from repro.geo.kernels import (
     connected_components,
     iter_neighbor_pairs,
     masked_mean_distances,
+    segmented_radius_pairs,
+    windowed_stay_spans,
 )
 
 from .conftest import make_line_trajectory
@@ -272,3 +274,134 @@ class TestSyncedKernels:
         stack[1, 6:] = 2.0
         assert masked_mean_distances(stack, 0, np.array([1]))[0] == np.inf
         assert SyncedDistances(stack).distances_from(0, np.array([1]))[0] == np.inf
+
+
+def brute_force_radius_pairs(xs, ys, segments, radius):
+    """Quadratic oracle for the segmented planar radius join."""
+    pairs = set()
+    r2 = radius * radius
+    for i in range(xs.size):
+        for j in range(i + 1, xs.size):
+            if segments[i] != segments[j]:
+                continue
+            dx, dy = xs[i] - xs[j], ys[i] - ys[j]
+            if dx * dx + dy * dy <= r2:
+                pairs.add((i, j))
+    return pairs
+
+
+class TestSegmentedRadiusPairs:
+    def test_matches_brute_force_single_segment(self):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(-500.0, 500.0, 120)
+        ys = rng.uniform(-500.0, 500.0, 120)
+        segments = np.zeros(120, dtype=np.int64)
+        a, b = segmented_radius_pairs(xs, ys, segments, 120.0)
+        got = set(zip(a.tolist(), b.tolist()))
+        assert got == brute_force_radius_pairs(xs, ys, segments, 120.0)
+        assert np.all(a < b)
+
+    def test_matches_brute_force_multi_segment(self):
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(-300.0, 300.0, 150)
+        ys = rng.uniform(-300.0, 300.0, 150)
+        segments = rng.integers(0, 4, 150).astype(np.int64)
+        a, b = segmented_radius_pairs(xs, ys, segments, 90.0)
+        got = set(zip(a.tolist(), b.tolist()))
+        assert got == brute_force_radius_pairs(xs, ys, segments, 90.0)
+
+    def test_never_pairs_across_segments(self):
+        # Two segments stacked at identical coordinates: every cross-segment
+        # pair is at distance zero, yet none may be emitted.
+        xs = np.concatenate([np.zeros(10), np.zeros(10)])
+        ys = np.concatenate([np.arange(10.0), np.arange(10.0)])
+        segments = np.repeat([0, 1], 10).astype(np.int64)
+        a, b = segmented_radius_pairs(xs, ys, segments, 5.0)
+        assert a.size > 0
+        assert np.all(segments[a] == segments[b])
+
+    def test_degenerate_inputs(self):
+        empty = np.zeros(0)
+        a, b = segmented_radius_pairs(empty, empty, empty.astype(np.int64), 10.0)
+        assert a.size == 0 and b.size == 0
+        one = np.zeros(1)
+        a, b = segmented_radius_pairs(one, one, np.zeros(1, dtype=np.int64), 10.0)
+        assert a.size == 0
+        with pytest.raises(ValueError):
+            segmented_radius_pairs(np.zeros(3), np.zeros(3), np.zeros(3, dtype=np.int64), 0.0)
+
+
+def brute_force_stay_spans(ts, lats, lons, max_diameter_m, min_duration_s, max_gap_s):
+    """The scalar two-pointer stay scan over one user (the documented spec)."""
+    from repro.geo.distance import haversine
+
+    spans = []
+    n = ts.size
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n:
+            if ts[j] - ts[j - 1] > max_gap_s:
+                break
+            if haversine(lats[i], lons[i], lats[j], lons[j]) > max_diameter_m:
+                break
+            j += 1
+        if ts[j - 1] - ts[i] >= min_duration_s and j - i >= 2:
+            spans.append((i, j))
+            i = j
+        else:
+            i += 1
+    return spans
+
+
+class TestWindowedStaySpans:
+    def test_matches_scalar_scan_per_user(self):
+        rng = np.random.default_rng(2)
+        offsets = [0]
+        all_ts, all_lats, all_lons = [], [], []
+        for _ in range(3):
+            n = int(rng.integers(10, 80))
+            ts = np.cumsum(rng.uniform(10.0, 400.0, n))
+            lats = 45.7 + np.cumsum(rng.normal(0.0, 4e-4, n))
+            lons = 4.8 + np.cumsum(rng.normal(0.0, 4e-4, n))
+            all_ts.append(ts), all_lats.append(lats), all_lons.append(lons)
+            offsets.append(offsets[-1] + n)
+        starts, ends = windowed_stay_spans(
+            np.concatenate(all_ts),
+            np.concatenate(all_lats),
+            np.concatenate(all_lons),
+            np.asarray(offsets),
+            max_diameter_m=150.0,
+            min_duration_s=300.0,
+            max_gap_s=900.0,
+        )
+        expected = []
+        for k in range(3):
+            base = offsets[k]
+            for i, j in brute_force_stay_spans(
+                all_ts[k], all_lats[k], all_lons[k], 150.0, 300.0, 900.0
+            ):
+                expected.append((base + i, base + j))
+        assert list(zip(starts.tolist(), ends.tolist())) == expected
+
+    def test_spans_never_cross_users(self):
+        # Two users parked at the same spot back to back in time: a naive
+        # flat scan would fuse their fixes into one long stay.
+        ts = np.concatenate([np.arange(20) * 60.0, 1200.0 + np.arange(20) * 60.0])
+        lats = np.full(40, 45.7)
+        lons = np.full(40, 4.8)
+        starts, ends = windowed_stay_spans(
+            ts, lats, lons, np.array([0, 20, 40]), 200.0, 600.0, 1800.0
+        )
+        assert list(zip(starts.tolist(), ends.tolist())) == [(0, 20), (20, 40)]
+
+    def test_degenerate_inputs(self):
+        empty = np.zeros(0)
+        starts, ends = windowed_stay_spans(
+            empty, empty, empty, np.array([0]), 200.0, 900.0, 1800.0
+        )
+        assert starts.size == 0 and ends.size == 0
+        starts, ends = windowed_stay_spans(
+            np.zeros(1), np.zeros(1), np.zeros(1), np.array([0, 1]), 200.0, 900.0, 1800.0
+        )
+        assert starts.size == 0

@@ -8,7 +8,6 @@ POIs are hidden, spatial utility stays high, swapping confuses linkage.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import Anonymizer, AnonymizerConfig, generate_world
 from repro.attacks.poi_extraction import PoiExtractor

@@ -1,10 +1,11 @@
 """Property-based equivalence: vectorized kernels versus scalar references.
 
-The columnar rewrites of mix-zone detection and Wait-For-Me clustering must
-be *refactors*, not behaviour changes.  Each hypothesis property generates a
-small randomized dataset and asserts the vectorized path produces identical
-results to the retained scalar reference implementation
-(``engine="reference"``) of the same semantics.
+The columnar rewrites of mix-zone detection, Wait-For-Me clustering, POI
+(stay-point) extraction and DJ-Cluster must be *refactors*, not behaviour
+changes.  Each hypothesis property generates a small randomized dataset and
+asserts the vectorized path produces identical results to the retained
+scalar reference implementation (``engine="reference"``) of the same
+semantics.
 """
 
 from __future__ import annotations
@@ -13,6 +14,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.attacks.djcluster import DjCluster, DjClusterConfig
+from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
 from repro.baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
 from repro.core.trajectory import MobilityDataset, Trajectory
 from repro.mixzones.detection import MixZoneDetectionConfig, MixZoneDetector
@@ -76,6 +79,169 @@ class TestMixZoneEquivalence:
             assert zone_v.center_lon == zone_r.center_lon
             assert zone_v.t_start == zone_r.t_start
             assert zone_v.t_end == zone_r.t_end
+
+
+def _dwell_and_move_dataset(
+    seed: int, n_users: int, n_segments: int, interval_s: float
+) -> MobilityDataset:
+    """Users alternating dwells (meter-scale jitter) and straight moves.
+
+    This produces the structure both POI attacks feed on — genuine stays of
+    randomized durations separated by travel — unlike a pure random walk,
+    which almost never dwells long enough to emit a stay point.
+    """
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for u in range(n_users):
+        lat = BASE_LAT + rng.uniform(-0.01, 0.01)
+        lon = BASE_LON + rng.uniform(-0.01, 0.01)
+        t = rng.uniform(0.0, 600.0)
+        times, lats, lons = [], [], []
+        for _ in range(n_segments):
+            if rng.random() < 0.5:  # dwell
+                for _ in range(rng.integers(2, 25)):
+                    times.append(t)
+                    lats.append(lat + rng.normal(0.0, 8e-5))
+                    lons.append(lon + rng.normal(0.0, 8e-5))
+                    t += interval_s * rng.uniform(0.5, 1.5)
+            else:  # move along a random bearing
+                bearing = rng.uniform(0.0, 2 * np.pi)
+                for _ in range(rng.integers(1, 12)):
+                    step = rng.uniform(50.0, 400.0)
+                    lat += step * np.cos(bearing) / 111_195.0
+                    lon += step * np.sin(bearing) / (
+                        111_195.0 * np.cos(np.radians(BASE_LAT))
+                    )
+                    times.append(t)
+                    lats.append(lat)
+                    lons.append(lon)
+                    t += interval_s * rng.uniform(0.5, 1.5)
+            # Occasional recording gap, sometimes mid-dwell.
+            if rng.random() < 0.2:
+                t += rng.uniform(1000.0, 4000.0)
+        trajectories.append(Trajectory(f"u{u}", times, lats, lons))
+    return MobilityDataset(trajectories)
+
+
+def _degenerate_datasets():
+    """Named edge-case datasets: single fix, all-stationary, all-moving."""
+    single = MobilityDataset([Trajectory("solo", [0.0], [BASE_LAT], [BASE_LON])])
+    rng = np.random.default_rng(7)
+    n = 60
+    all_stationary = MobilityDataset(
+        [
+            Trajectory(
+                "parked",
+                np.arange(n) * 60.0,
+                BASE_LAT + rng.normal(0.0, 5e-5, n),
+                BASE_LON + rng.normal(0.0, 5e-5, n),
+            )
+        ]
+    )
+    all_moving = MobilityDataset(
+        [
+            Trajectory(
+                "runner",
+                np.arange(n) * 30.0,
+                BASE_LAT + np.arange(n) * 300.0 / 111_195.0,
+                np.full(n, BASE_LON),
+            )
+        ]
+    )
+    empty_user = MobilityDataset(
+        [Trajectory.empty("ghost"), all_stationary["parked"]]
+    )
+    return {
+        "single-fix": single,
+        "all-stationary": all_stationary,
+        "all-moving": all_moving,
+        "with-empty-user": empty_user,
+    }
+
+
+class TestPoiExtractionEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=4),
+        n_segments=st.integers(min_value=1, max_value=8),
+        diameter_m=st.floats(min_value=50.0, max_value=400.0),
+        min_duration_s=st.floats(min_value=120.0, max_value=1800.0),
+        interval_s=st.floats(min_value=20.0, max_value=90.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_staypoints_identical_to_reference(
+        self, seed, n_users, n_segments, diameter_m, min_duration_s, interval_s
+    ):
+        dataset = _dwell_and_move_dataset(seed, n_users, n_segments, interval_s)
+        base = dict(
+            max_diameter_m=diameter_m,
+            min_duration_s=min_duration_s,
+            merge_distance_m=diameter_m / 2.0,
+        )
+        vectorized = PoiExtractor(PoiExtractionConfig(**base)).extract_dataset(dataset)
+        reference = PoiExtractor(
+            PoiExtractionConfig(engine="reference", **base)
+        ).extract_dataset(dataset)
+        assert vectorized == reference  # exact: POIs are frozen dataclasses
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_single_trajectory_identical(self, seed):
+        dataset = _dwell_and_move_dataset(seed, n_users=1, n_segments=6, interval_s=45.0)
+        trajectory = next(iter(dataset))
+        assert PoiExtractor().extract(trajectory) == PoiExtractor(
+            PoiExtractionConfig(engine="reference")
+        ).extract(trajectory)
+
+    def test_degenerate_traces_identical(self):
+        for name, dataset in _degenerate_datasets().items():
+            vectorized = PoiExtractor().extract_dataset(dataset)
+            reference = PoiExtractor(
+                PoiExtractionConfig(engine="reference")
+            ).extract_dataset(dataset)
+            assert vectorized == reference, f"mismatch on {name}"
+        parked = _degenerate_datasets()["all-stationary"]["parked"]
+        assert len(PoiExtractor().extract(parked)) == 1
+
+
+class TestDjClusterEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=4),
+        n_segments=st.integers(min_value=1, max_value=8),
+        eps_m=st.floats(min_value=30.0, max_value=300.0),
+        min_points=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_identical_to_reference(
+        self, seed, n_users, n_segments, eps_m, min_points
+    ):
+        dataset = _dwell_and_move_dataset(seed, n_users, n_segments, interval_s=40.0)
+        base = dict(eps_m=eps_m, min_points=min_points)
+        vectorized = DjCluster(DjClusterConfig(**base)).extract_dataset(dataset)
+        reference = DjCluster(
+            DjClusterConfig(engine="reference", **base)
+        ).extract_dataset(dataset)
+        assert vectorized == reference
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_single_trajectory_identical(self, seed):
+        dataset = _dwell_and_move_dataset(seed, n_users=1, n_segments=6, interval_s=40.0)
+        trajectory = next(iter(dataset))
+        assert DjCluster().extract(trajectory) == DjCluster(
+            DjClusterConfig(engine="reference")
+        ).extract(trajectory)
+
+    def test_degenerate_traces_identical(self):
+        for name, dataset in _degenerate_datasets().items():
+            vectorized = DjCluster().extract_dataset(dataset)
+            reference = DjCluster(
+                DjClusterConfig(engine="reference")
+            ).extract_dataset(dataset)
+            assert vectorized == reference, f"mismatch on {name}"
+        moving = _degenerate_datasets()["all-moving"]["runner"]
+        assert DjCluster().extract(moving) == []
 
 
 class TestWait4MeEquivalence:

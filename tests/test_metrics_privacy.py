@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.attacks.poi_extraction import ExtractedPoi
 from repro.core.pipeline import Anonymizer, AnonymizerConfig

@@ -19,7 +19,6 @@ from repro.metrics.utility import (
     trip_length_error,
 )
 
-from .conftest import make_line_trajectory
 
 
 class TestDistortionSummary:

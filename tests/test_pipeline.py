@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.pipeline import AnonymizationReport, Anonymizer, AnonymizerConfig, anonymize
 from repro.core.speed_smoothing import SpeedSmoothingConfig

@@ -15,8 +15,7 @@ relies on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.speed_smoothing import SpeedSmoothingConfig, SpeedSmoother
