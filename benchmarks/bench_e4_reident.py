@@ -1,0 +1,158 @@
+"""E4/E5 attack engines — re-identification + tracking, columnar versus scalar.
+
+Times the three attacks ported onto the columnar kernel layer in this PR —
+the POI-matching linkage (:class:`~repro.attacks.reident.Reidentifier`), the
+spatial-footprint matcher
+(:class:`~repro.attacks.reident.FootprintReidentifier`) and the multi-target
+tracker (:class:`~repro.attacks.tracking.MultiTargetTracker`) — under both
+implementations (vectorized kernels versus the scalar ``engine="reference"``
+oracles) on the crossing-rich workload, asserting identical outputs, and
+records the comparison in ``BENCH_e4_reident.<scale>.json`` — an artifact the
+CI benchmark-regression gate diffs against its committed baseline.
+
+The POI matcher is timed on its linkage stage (similarity matrix +
+assignment) with extraction precomputed: the stay-point scan was ported and
+benchmarked in the E1 bench (PR 3), and both engines of this attack share
+it.  The end-to-end ``attack()`` wall (extraction included) is recorded
+alongside as an informational cell.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.attacks.reident import (
+    FootprintReidentifier,
+    ReidentificationConfig,
+    Reidentifier,
+)
+from repro.attacks.tracking import MultiTargetTracker, TrackingConfig
+from repro.experiments.formatting import format_table
+from repro.experiments.workloads import split_train_publish
+from repro.mixzones.detection import detect_mix_zones
+
+#: Pre-refactor wall seconds of the end-to-end attacks on the raw crossing
+#: workload, by (attack, scale): the point-by-point implementations at commit
+#: a172a2e, best of three runs on the same workloads this bench generates.
+PRE_REFACTOR_S = {
+    ("reident_poi", "small"): 0.0125,
+    ("reident_poi", "medium"): 0.0933,
+    ("reident_footprint", "small"): 0.00239,
+    ("reident_footprint", "medium"): 0.0205,
+    ("tracking", "small"): 0.0126,
+    ("tracking", "medium"): 0.573,
+}
+
+
+def _best_of(fn, repeats: int = 3):
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _reident_results_equal(a, b) -> bool:
+    return a.predicted == b.predicted and a.scores == b.scores
+
+
+def test_e4_attack_engines(crossing_eval_world, bench_artifact, evaluation_scale):
+    """The three E4/E5 adversaries, columnar kernels versus scalar oracles."""
+    world = crossing_eval_world
+    training, publish = split_train_publish(world, 0.5)
+    publish.columnar()  # shared cache: time the attacks, not the flattening
+    training.columnar()
+
+    timings, rows = {}, []
+
+    def record(attack: str, vec_s: float, ref_s: float, extra_vec=None):
+        before = PRE_REFACTOR_S.get((attack, evaluation_scale))
+        timings[f"{attack}_vectorized"] = {
+            "wall_s": vec_s,
+            "pre_refactor_wall_s": before,
+            "speedup_vs_reference": ref_s / vec_s if vec_s > 0 else None,
+        }
+        timings[f"{attack}_reference"] = {"wall_s": ref_s}
+        if extra_vec is not None:
+            timings[f"{attack}_attack_vectorized"] = {"wall_s": extra_vec}
+        rows.append(
+            {
+                "attack": attack,
+                "vectorized_s": vec_s,
+                "reference_s": ref_s,
+                "speedup": ref_s / vec_s if vec_s > 0 else None,
+            }
+        )
+
+    # -- POI-matching linkage (similarity matrix + assignment) -----------------
+    poi_v = Reidentifier()
+    poi_r = Reidentifier(ReidentificationConfig(engine="reference"))
+    knowledge = poi_v.knowledge_from_dataset(training)
+    extracted = poi_v._extractor.extract_dataset(publish)
+    out_v, vec_s = _best_of(lambda: poi_v.attack(publish, knowledge, extracted))
+    out_r, ref_s = _best_of(lambda: poi_r.attack(publish, knowledge, extracted))
+    assert _reident_results_equal(out_v, out_r), "reident engines must agree"
+    _, end_to_end_s = _best_of(lambda: poi_v.attack(publish, knowledge))
+    record("reident_poi", vec_s, ref_s, extra_vec=end_to_end_s)
+
+    # -- spatial-footprint matcher (footprints + Jaccard + assignment) ---------
+    fp_v = FootprintReidentifier()
+    fp_r = FootprintReidentifier(engine="reference")
+    fp_knowledge = fp_v.knowledge_from_dataset(training)
+    fp_r.knowledge_from_dataset(training)  # same deterministic grid
+    out_v, vec_s = _best_of(lambda: fp_v.attack(publish, fp_knowledge))
+    out_r, ref_s = _best_of(lambda: fp_r.attack(publish, fp_knowledge))
+    assert _reident_results_equal(out_v, out_r), "footprint engines must agree"
+    record("reident_footprint", vec_s, ref_s)
+
+    # -- multi-target tracking over every detected zone ------------------------
+    zones = detect_mix_zones(world.dataset, radius_m=100.0)
+    tracker_v = MultiTargetTracker()
+    tracker_r = MultiTargetTracker(TrackingConfig(engine="reference"))
+    links_v, vec_s = _best_of(lambda: tracker_v.link_zones(world.dataset, zones))
+    links_r, ref_s = _best_of(lambda: tracker_r.link_zones(world.dataset, zones))
+    assert len(links_v) == len(links_r)
+    for linkage_v, linkage_r in zip(links_v, links_r):
+        assert linkage_v.links == linkage_r.links, "tracking engines must agree"
+        assert linkage_v.incoming == linkage_r.incoming
+        assert linkage_v.outgoing == linkage_r.outgoing
+    record("tracking", vec_s, ref_s)
+
+    path = bench_artifact(
+        "e4_reident",
+        timings=timings,
+        rows=rows,
+        baseline={
+            "pre_refactor": {
+                attack: seconds
+                for (attack, scale), seconds in PRE_REFACTOR_S.items()
+                if scale == evaluation_scale
+            },
+            "measured_at_commit": "pre-PR (a172a2e)",
+        },
+        extra={
+            "workload": {
+                "users": len(world.dataset),
+                "points": world.dataset.n_points,
+                "zones": len(zones),
+            }
+        },
+    )
+    print()
+    print(format_table(
+        ["attack", "vectorized_s", "reference_s", "speedup"],
+        [[r[h] for h in ("attack", "vectorized_s", "reference_s", "speedup")]
+         for r in rows],
+        title=f"E4/E5 attack engines at scale={evaluation_scale} (artifact: {path})",
+    ))
+
+    # The acceptance bar of the columnar port: >= 2x at the medium workload.
+    # Timings at other scales are recorded but not asserted (the CI smoke
+    # runs at small scale on noisy shared runners).
+    if evaluation_scale == "medium":
+        for row in rows:
+            assert row["speedup"] >= 2.0, (
+                f"{row['attack']}: vectorized engine must be >= 2x the reference "
+                f"at medium scale, got {row['speedup']:.2f}x"
+            )

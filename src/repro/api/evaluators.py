@@ -185,12 +185,24 @@ class PoiRetrievalEvaluator:
 @register_attack("reident")
 @dataclass
 class ReidentEvaluator:
-    """POI-matching and footprint linkage attacks with split-trained knowledge."""
+    """POI-matching and footprint linkage attacks with split-trained knowledge.
+
+    ``engine`` selects the implementation of both attackers:
+    ``"vectorized"`` (default) the columnar kernels, ``"reference"`` the
+    retained scalar oracles (spec form: ``reident:engine=reference``).
+    """
 
     train_fraction: float = 0.5
     match_distance_m: float = 250.0
     bbox_margin_m: float = 500.0
+    engine: str = "vectorized"
     name: str = field(default="reident", init=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("vectorized", "reference"):
+            raise RegistryError(
+                f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
+            )
 
     def _attackers(self, world):
         from ..experiments.workloads import split_train_publish
@@ -198,16 +210,24 @@ class ReidentEvaluator:
         def build():
             training, _ = split_train_publish(world, self.train_fraction)
             poi_attacker = Reidentifier(
-                ReidentificationConfig(match_distance_m=self.match_distance_m)
+                ReidentificationConfig(
+                    match_distance_m=self.match_distance_m, engine=self.engine
+                )
             )
             poi_knowledge = poi_attacker.knowledge_from_dataset(training)
-            footprint_attacker = FootprintReidentifier()
+            footprint_attacker = FootprintReidentifier(engine=self.engine)
             footprint_knowledge = footprint_attacker.knowledge_from_dataset(
                 training, bbox=world.dataset.bbox.expanded(self.bbox_margin_m)
             )
             return poi_attacker, poi_knowledge, footprint_attacker, footprint_knowledge
 
-        key = (id(world), self.train_fraction, self.match_distance_m, self.bbox_margin_m)
+        key = (
+            id(world),
+            self.train_fraction,
+            self.match_distance_m,
+            self.bbox_margin_m,
+            self.engine,
+        )
         return _world_cached(_KNOWLEDGE_CACHE, world, key, build)
 
     def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
@@ -237,11 +257,23 @@ class ReidentEvaluator:
 @register_attack("tracking")
 @dataclass
 class TrackingEvaluator:
-    """Multi-target tracking of mix-zone traversals recorded in the report."""
+    """Multi-target tracking of mix-zone traversals recorded in the report.
+
+    ``engine`` selects the tracker implementation (``"vectorized"`` columnar
+    default; ``"reference"`` the scalar oracle, spec form
+    ``tracking:engine=reference``).
+    """
 
     search_radius_m: float = 500.0
     max_plausible_speed_mps: float = 40.0
+    engine: str = "vectorized"
     name: str = field(default="tracking", init=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("vectorized", "reference"):
+            raise RegistryError(
+                f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
+            )
 
     def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
         report = result.report
@@ -254,6 +286,7 @@ class TrackingEvaluator:
             TrackingConfig(
                 search_radius_m=self.search_radius_m,
                 max_plausible_speed_mps=self.max_plausible_speed_mps,
+                engine=self.engine,
             )
         )
         linkages = tracker.link_zones(

@@ -18,9 +18,12 @@ radius ``eps_m`` and minimum neighbourhood size ``min_points``.
 
 By default the attack runs on the columnar kernel layer: the stationary
 pre-filter is one masked speed pass over the dataset's flattened view, the
-neighbourhood search a per-user-segmented bin join
-(:func:`repro.geo.kernels.segmented_radius_pairs`), and clusters the
-connected components of the core-point graph.  The original scalar DBSCAN
+neighbourhood search the finer-grid radius join
+(:func:`repro.geo.kernels.planar_radius_cliques` — cells of side
+``eps / sqrt(2)`` whose co-members are certified neighbours without any
+pairwise confirmation, so a dense stay contributes one cell instead of a
+materialised near-clique), and clusters the connected components of the
+core-point graph.  The original scalar DBSCAN
 is retained as ``engine="reference"`` — the correctness oracle the
 vectorized path is pinned against by property tests.  Both paths implement
 the same deterministic semantics: clusters are numbered by their smallest
@@ -38,7 +41,7 @@ import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
 from ..geo.distance import haversine_array, meters_per_degree
-from ..geo.kernels import connected_components, segmented_radius_pairs
+from ..geo.kernels import connected_components, planar_radius_cliques
 from .poi_extraction import ExtractedPoi
 
 __all__ = ["DjClusterConfig", "DjCluster", "dj_cluster"]
@@ -108,13 +111,9 @@ class DjCluster:
             return {traj.user_id: self.extract(traj) for traj in dataset}
         traces = dataset.columnar()
         stationary = self._stationary_mask_columnar(traces)
-        # One clustering pass per user, not one giant segmented join: the
-        # pair volume (dense stays are near-cliques, ~27M confirmed pairs at
-        # medium scale) makes forty cache-sized join + component passes
-        # measurably faster (~2x) than a single dataset-wide pass.  The
-        # segment machinery of `segmented_radius_pairs` exists for callers
-        # whose per-segment working sets are small — and is pinned by direct
-        # kernel tests.
+        # One clustering pass per user: per-user joins stay cache-sized, and
+        # the clique grid means a dense stay costs one cell label rather
+        # than a materialised near-clique of confirmed pairs.
         out: Dict[str, List[ExtractedPoi]] = {}
         for k, user_id in enumerate(traces.user_ids):
             span = traces.user_slice(k)
@@ -154,24 +153,29 @@ class DjCluster:
         xs = (lons[idx] - float(np.mean(lons))) * lon_m
         ys = (lats[idx] - float(np.mean(lats))) * lat_m
 
-        pair_a, pair_b = segmented_radius_pairs(
-            xs, ys, np.zeros(m, dtype=np.int64), cfg.eps_m
-        )
-        labels = self._cluster_pairs(m, pair_a, pair_b)
+        cells, pair_a, pair_b = planar_radius_cliques(xs, ys, cfg.eps_m)
+        labels = self._cluster_graph(m, cells, pair_a, pair_b)
         return self._pois_from_labels(user_id, ts, lats, lons, idx, labels)
 
-    def _cluster_pairs(
-        self, m: int, pair_a: np.ndarray, pair_b: np.ndarray
+    def _cluster_graph(
+        self, m: int, cells: np.ndarray, pair_a: np.ndarray, pair_b: np.ndarray
     ) -> np.ndarray:
-        """Density-cluster labels from confirmed neighbour pairs (-1 = noise).
+        """Density-cluster labels from the clique cells + cross-cell pairs (-1 = noise).
 
-        Cores are points with at least ``min_points`` neighbours (the point
-        itself included); clusters are the connected components of the
-        core-core adjacency graph, numbered by their smallest core; border
-        points take the smallest-numbered adjacent cluster.
+        The neighbour relation of a point is its clique-cell co-members
+        (certified in-radius, never materialised as pairs) plus its confirmed
+        cross-cell pairs.  Cores are points with at least ``min_points``
+        neighbours (the point itself included); clusters are the connected
+        components of the core-core adjacency graph, numbered by their
+        smallest core; border points take the smallest-numbered adjacent
+        cluster.  Within one cell, core-core adjacency is a clique — unioned
+        wholesale by chaining the cell's cores instead of emitting the
+        quadratic pair set.
         """
+        n_cells = int(cells.max()) + 1 if m else 0
+        cell_sizes = np.bincount(cells, minlength=n_cells)
         counts = (
-            1
+            cell_sizes[cells]  # the point itself + its certified co-members
             + np.bincount(pair_a, minlength=m)
             + np.bincount(pair_b, minlength=m)
         )
@@ -181,12 +185,23 @@ class DjCluster:
         if not core.any():
             return labels
 
+        core_pos = np.nonzero(core)[0]
+        # Chain the cores of each cell (cell_order groups them cell by cell,
+        # index-ascending): consecutive same-cell cores are one edge each,
+        # connecting the whole in-cell clique with size-1 edges.
+        cell_order = core_pos[np.argsort(cells[core_pos], kind="stable")]
+        same_cell = cells[cell_order[:-1]] == cells[cell_order[1:]]
+        chain_a = cell_order[:-1][same_cell]
+        chain_b = cell_order[1:][same_cell]
         both_core = core[pair_a] & core[pair_b]
-        component = connected_components(m, pair_a[both_core], pair_b[both_core])
+        component = connected_components(
+            m,
+            np.concatenate([pair_a[both_core], chain_a]),
+            np.concatenate([pair_b[both_core], chain_b]),
+        )
 
         # Rank components that contain cores by their smallest core index:
         # rank 0 is the cluster the scalar BFS would discover first.
-        core_pos = np.nonzero(core)[0]
         min_core = np.full(m, m, dtype=np.int64)
         np.minimum.at(min_core, component[core_pos], core_pos)
         cluster_ids = np.unique(component[core_pos])
@@ -197,7 +212,14 @@ class DjCluster:
         labels[core_pos] = rank[component[core_pos]]
 
         # Border points: adjacent to >= 1 core, take the smallest rank.
+        # Same-cell adjacency first: every non-core sharing a cell with a
+        # core is adjacent to all of that cell's cores, which the chaining
+        # above put in one component.
         border_rank = np.full(m, m, dtype=np.int64)
+        cell_rank = np.full(n_cells, m, dtype=np.int64)
+        np.minimum.at(cell_rank, cells[core_pos], rank[component[core_pos]])
+        non_core = np.nonzero(~core)[0]
+        border_rank[non_core] = cell_rank[cells[non_core]]
         a_core_only = core[pair_a] & ~core[pair_b]
         np.minimum.at(
             border_rank, pair_b[a_core_only], rank[component[pair_a[a_core_only]]]

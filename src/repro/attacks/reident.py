@@ -28,18 +28,29 @@ paper's speed smoothing does not move locations, the footprint of a smoothed
 trace still matches its owner almost perfectly — only the trajectory swapping
 step, which mixes segments of different users under one pseudonym, degrades
 this attacker.  Experiment E4 reports both adversaries for that reason.
+
+Both attackers run on the columnar kernel layer by default: the POI matcher
+builds each pseudonym's row of the pseudonym × candidate similarity matrix
+with *one* batched haversine pass against the stacked POIs of every candidate
+(instead of nested Python loops over POI pairs), and the footprint matcher
+summarises traces as sorted unique grid-cell ID arrays scored with
+``np.intersect1d`` over the dataset's flattened view.  The scalar
+per-POI-pair / per-cell paths are retained as ``engine="reference"`` — the
+correctness oracles the vectorized paths are pinned against by property
+tests.  Both engines of each attacker share the score-finalisation
+arithmetic, so similarity matrices (and therefore assignments) are
+bitwise-identical across engines.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
-from ..geo.distance import haversine
+from ..geo.distance import haversine, haversine_array
 from ..geo.geometry import BoundingBox
 from ..geo.grid import Grid
 from .poi_extraction import ExtractedPoi, PoiExtractionConfig, PoiExtractor
@@ -71,18 +82,27 @@ class ReidentificationConfig:
     are mapped to candidates: ``"optimal"`` (one-to-one, Hungarian) or
     ``"greedy"`` (each pseudonym independently takes its best candidate,
     allowing collisions).  ``extraction`` configures the embedded stay-point
-    extractor used on the published data.
+    extractor used on the published data.  ``engine`` selects the similarity
+    implementation: ``"vectorized"`` (default) computes each pseudonym's
+    candidate scores with one batched haversine pass over the stacked
+    candidate POIs, ``"reference"`` the retained per-POI-pair scalar loop of
+    the same semantics (the equivalence oracle).
     """
 
     match_distance_m: float = 250.0
     assignment: str = "optimal"
     extraction: PoiExtractionConfig = field(default_factory=PoiExtractionConfig)
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.match_distance_m <= 0.0:
             raise ValueError("match_distance_m must be positive")
         if self.assignment not in ("optimal", "greedy"):
             raise ValueError(f"assignment must be 'optimal' or 'greedy', got {self.assignment!r}")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -127,9 +147,8 @@ class Reidentifier:
         the number of supporting fixes (frequently visited places count more).
         """
         knowledge: Dict[str, List[KnownPoi]] = {}
-        for traj in training:
-            pois = self._extractor.extract(traj)
-            knowledge[traj.user_id] = [
+        for user_id, pois in self._extractor.extract_dataset(training).items():
+            knowledge[user_id] = [
                 KnownPoi(lat=p.lat, lon=p.lon, weight=float(p.n_points)) for p in pois
             ]
         return knowledge
@@ -140,18 +159,30 @@ class Reidentifier:
         self,
         published: MobilityDataset,
         knowledge: Mapping[str, Sequence[KnownPoi]],
+        extracted: Optional[Mapping[str, Sequence[ExtractedPoi]]] = None,
     ) -> ReidentificationResult:
-        """Assign every published pseudonym to the most similar known user."""
+        """Assign every published pseudonym to the most similar known user.
+
+        ``extracted`` optionally supplies precomputed per-pseudonym POIs
+        (the output of the embedded extractor's ``extract_dataset``), letting
+        callers that sweep attack parameters over one published dataset pay
+        for extraction once.
+        """
         candidates = list(knowledge.keys())
         pseudonyms = [t.user_id for t in published]
+        if extracted is None:
+            extracted = self._extractor.extract_dataset(published)
 
-        scores: Dict[str, Dict[str, float]] = {}
-        for traj in published:
-            extracted = self._extractor.extract(traj)
-            scores[traj.user_id] = {
-                candidate: self._similarity(extracted, knowledge[candidate])
-                for candidate in candidates
+        if self.config.engine == "reference":
+            scores = {
+                pseudonym: {
+                    candidate: self._similarity(extracted[pseudonym], knowledge[candidate])
+                    for candidate in candidates
+                }
+                for pseudonym in pseudonyms
             }
+        else:
+            scores = self._scores_vectorized(pseudonyms, extracted, candidates, knowledge)
 
         if self.config.assignment == "greedy" or not candidates or not pseudonyms:
             predicted = self._assign_greedy(scores)
@@ -161,10 +192,69 @@ class Reidentifier:
 
     # -- internals --------------------------------------------------------------------
 
+    def _scores_vectorized(
+        self,
+        pseudonyms: List[str],
+        extracted: Mapping[str, Sequence[ExtractedPoi]],
+        candidates: List[str],
+        knowledge: Mapping[str, Sequence[KnownPoi]],
+    ) -> Dict[str, Dict[str, float]]:
+        """The similarity matrix, one batched haversine pass per pseudonym.
+
+        The POIs of every candidate are stacked once into flat arrays with
+        per-candidate offsets; for each pseudonym one broadcast haversine
+        call against the stack resolves every (extracted, known) match at
+        once, and the per-candidate reductions reuse the exact slice
+        arithmetic of the scalar oracle (:meth:`_pair_score`).
+        """
+        known_lats = np.concatenate(
+            [[k.lat for k in knowledge[c]] for c in candidates] or [[]]
+        ).astype(float)
+        known_lons = np.concatenate(
+            [[k.lon for k in knowledge[c]] for c in candidates] or [[]]
+        ).astype(float)
+        weights = np.concatenate(
+            [[k.weight for k in knowledge[c]] for c in candidates] or [[]]
+        ).astype(float)
+        counts = np.array([len(knowledge[c]) for c in candidates], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+
+        scores: Dict[str, Dict[str, float]] = {}
+        for pseudonym in pseudonyms:
+            pois = extracted[pseudonym]
+            row: Dict[str, float] = {}
+            if not pois or known_lats.size == 0:
+                scores[pseudonym] = {c: 0.0 for c in candidates}
+                continue
+            e_lats = np.array([p.lat for p in pois], dtype=float)
+            e_lons = np.array([p.lon for p in pois], dtype=float)
+            # (n_known, n_extracted) match matrix in one batched pass; the
+            # argument order (known first) mirrors the scalar oracle.
+            matched = (
+                haversine_array(
+                    known_lats[:, None], known_lons[:, None], e_lats[None, :], e_lons[None, :]
+                )
+                <= self.config.match_distance_m
+            )
+            matched_known = matched.any(axis=1)
+            for c_index, candidate in enumerate(candidates):
+                lo, hi = int(offsets[c_index]), int(offsets[c_index + 1])
+                if lo == hi:
+                    row[candidate] = 0.0
+                    continue
+                row[candidate] = self._pair_score(
+                    matched_known[lo:hi],
+                    weights[lo:hi],
+                    int(np.count_nonzero(matched[lo:hi].any(axis=0))),
+                    len(pois),
+                )
+            scores[pseudonym] = row
+        return scores
+
     def _similarity(
         self, extracted: Sequence[ExtractedPoi], known: Sequence[KnownPoi]
     ) -> float:
-        """Symmetric POI-set similarity in [0, 1].
+        """Symmetric POI-set similarity in [0, 1] (the scalar reference path).
 
         The score is the harmonic mean of (a) the weighted fraction of known
         POIs that are matched by an extracted POI and (b) the fraction of
@@ -176,18 +266,37 @@ class Reidentifier:
             return 0.0
         d = self.config.match_distance_m
 
-        matched_known_weight = 0.0
-        total_known_weight = sum(k.weight for k in known)
-        for k in known:
-            if any(haversine(k.lat, k.lon, e.lat, e.lon) <= d for e in extracted):
-                matched_known_weight += k.weight
-        recall = matched_known_weight / total_known_weight if total_known_weight > 0 else 0.0
-
+        matched_known = np.array(
+            [
+                any(haversine(k.lat, k.lon, e.lat, e.lon) <= d for e in extracted)
+                for k in known
+            ],
+            dtype=bool,
+        )
+        weights = np.array([k.weight for k in known], dtype=float)
         matched_extracted = sum(
             1 for e in extracted if any(haversine(k.lat, k.lon, e.lat, e.lon) <= d for k in known)
         )
-        precision = matched_extracted / len(extracted)
+        return self._pair_score(matched_known, weights, matched_extracted, len(extracted))
 
+    @staticmethod
+    def _pair_score(
+        matched_known: np.ndarray,
+        weights: np.ndarray,
+        n_matched_extracted: int,
+        n_extracted: int,
+    ) -> float:
+        """Finalise one (pseudonym, candidate) score from match counts.
+
+        Shared by both engines so the recall / precision / F arithmetic —
+        including the float summation order over the candidate's weights —
+        is literally the same code, making the similarity matrices
+        bitwise-identical across engines.
+        """
+        total_known_weight = float(np.sum(weights))
+        matched_known_weight = float(np.sum(np.where(matched_known, weights, 0.0)))
+        recall = matched_known_weight / total_known_weight if total_known_weight > 0 else 0.0
+        precision = n_matched_extracted / n_extracted
         if precision + recall == 0.0:
             return 0.0
         return 2.0 * precision * recall / (precision + recall)
@@ -236,32 +345,46 @@ class FootprintReidentifier:
     """Re-identification by spatial-footprint matching.
 
     The attacker summarises every trace — published or background knowledge —
-    as the multiset of grid cells it visits, and assigns each published
-    pseudonym to the candidate whose historical footprint is the most similar
-    (cosine similarity of cell-visit vectors, one-to-one assignment).  This
-    adversary does not depend on temporal structure at all, so time-distorting
+    as its *footprint*: the sorted array of distinct grid-cell IDs it visits.
+    Each published pseudonym is assigned to the candidate whose historical
+    footprint is the most similar under the Jaccard index
+    ``|A ∩ B| / |A ∪ B|`` (one-to-one assignment by default).  This adversary
+    does not depend on temporal structure at all, so time-distorting
     mechanisms leave it intact; only mechanisms that move locations or mix
     users' segments degrade it.
+
+    The default ``"vectorized"`` engine computes every footprint in one pass
+    over the dataset's columnar view (cell IDs of all fixes at once, unique
+    per user slice) and scores candidate pairs with ``np.intersect1d``; the
+    ``"reference"`` engine walks fixes and Python sets with the same
+    semantics.  Intersection and union sizes are integers, so both engines
+    produce bitwise-identical scores.
     """
 
-    def __init__(self, cell_size_m: float = 300.0, assignment: str = "optimal") -> None:
+    def __init__(
+        self,
+        cell_size_m: float = 300.0,
+        assignment: str = "optimal",
+        engine: str = "vectorized",
+    ) -> None:
         if cell_size_m <= 0.0:
             raise ValueError("cell_size_m must be positive")
         if assignment not in ("optimal", "greedy"):
             raise ValueError(f"assignment must be 'optimal' or 'greedy', got {assignment!r}")
+        if engine not in ("vectorized", "reference"):
+            raise ValueError(f"engine must be 'vectorized' or 'reference', got {engine!r}")
         self.cell_size_m = cell_size_m
         self.assignment = assignment
+        self.engine = engine
 
     # -- background knowledge -------------------------------------------------------
 
     def knowledge_from_dataset(
         self, training: MobilityDataset, bbox: Optional[BoundingBox] = None
-    ) -> Dict[str, Dict[tuple, float]]:
-        """Per-candidate cell-visit histograms built from a raw training dataset."""
+    ) -> Dict[str, np.ndarray]:
+        """Per-candidate footprints (sorted unique cell-ID arrays) from raw training data."""
         grid = self._grid(training, bbox)
-        knowledge: Dict[str, Dict[tuple, float]] = {}
-        for traj in training:
-            knowledge[traj.user_id] = self._histogram(grid, traj)
+        knowledge = self._footprints(grid, training)
         self._knowledge_grid = grid
         return knowledge
 
@@ -270,15 +393,15 @@ class FootprintReidentifier:
     def attack(
         self,
         published: MobilityDataset,
-        knowledge: Mapping[str, Mapping[tuple, float]],
+        knowledge: Mapping[str, np.ndarray],
     ) -> ReidentificationResult:
         """Assign every published pseudonym to the candidate with the closest footprint."""
         grid = getattr(self, "_knowledge_grid", None) or self._grid(published, None)
+        footprints = self._footprints(grid, published)
         scores: Dict[str, Dict[str, float]] = {}
-        for traj in published:
-            histogram = self._histogram(grid, traj)
-            scores[traj.user_id] = {
-                candidate: self._cosine(histogram, reference)
+        for pseudonym, footprint in footprints.items():
+            scores[pseudonym] = {
+                candidate: self._jaccard(footprint, np.asarray(reference))
                 for candidate, reference in knowledge.items()
             }
         pseudonyms = [t.user_id for t in published]
@@ -296,22 +419,43 @@ class FootprintReidentifier:
         reference_bbox = bbox or dataset.bbox.expanded(self.cell_size_m)
         return Grid.covering(reference_bbox, self.cell_size_m)
 
-    def _histogram(self, grid: Grid, trajectory: Trajectory) -> Dict[tuple, float]:
-        if len(trajectory) == 0:
-            return {}
-        counts = grid.cell_counts(np.asarray(trajectory.lats), np.asarray(trajectory.lons))
-        return {cell: float(count) for cell, count in counts.items()}
+    def _footprints(self, grid: Grid, dataset: MobilityDataset) -> Dict[str, np.ndarray]:
+        """Sorted unique cell-ID arrays per user (engine-dependent construction)."""
+        if self.engine == "reference":
+            return {
+                traj.user_id: self._footprint_reference(grid, traj) for traj in dataset
+            }
+        traces = dataset.columnar()
+        if traces.n_points == 0:
+            return {uid: np.zeros(0, dtype=np.int64) for uid in traces.user_ids}
+        cell_ids = grid.cell_ids(traces.lats, traces.lons)
+        out: Dict[str, np.ndarray] = {}
+        for k, user_id in enumerate(traces.user_ids):
+            out[user_id] = np.unique(cell_ids[traces.user_slice(k)])
+        return out
 
-    @staticmethod
-    def _cosine(a: Mapping[tuple, float], b: Mapping[tuple, float]) -> float:
-        if not a or not b:
+    def _footprint_reference(self, grid: Grid, trajectory: Trajectory) -> np.ndarray:
+        """Scalar footprint construction (the equivalence oracle)."""
+        cells = set()
+        for point in trajectory:
+            row, col = grid.cell_of(point.lat, point.lon)
+            cells.add(row * grid.n_cols + col)
+        return np.array(sorted(cells), dtype=np.int64)
+
+    def _jaccard(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Jaccard index of two sorted unique cell-ID arrays."""
+        if a.size == 0 or b.size == 0:
             return 0.0
-        dot = sum(value * b.get(cell, 0.0) for cell, value in a.items())
-        norm_a = math.sqrt(sum(v * v for v in a.values()))
-        norm_b = math.sqrt(sum(v * v for v in b.values()))
-        if norm_a == 0.0 or norm_b == 0.0:
+        if self.engine == "reference":
+            sa, sb = set(a.tolist()), set(b.tolist())
+            intersection = len(sa & sb)
+            union = len(sa | sb)
+        else:
+            intersection = int(np.intersect1d(a, b, assume_unique=True).size)
+            union = int(a.size + b.size) - intersection
+        if union == 0:
             return 0.0
-        return dot / (norm_a * norm_b)
+        return intersection / union
 
 
 from ..api.registry import register_attack
@@ -319,17 +463,25 @@ from ..api.registry import register_attack
 
 @register_attack("reident-poi", aliases=("poi-matching",))
 def _poi_reidentifier(
-    match_distance_m: float = 250.0, assignment: str = "optimal"
+    match_distance_m: float = 250.0,
+    assignment: str = "optimal",
+    engine: str = "vectorized",
 ) -> Reidentifier:
     """POI-matching linkage, e.g. ``reident-poi:match_distance_m=500``."""
     return Reidentifier(
-        ReidentificationConfig(match_distance_m=match_distance_m, assignment=assignment)
+        ReidentificationConfig(
+            match_distance_m=match_distance_m, assignment=assignment, engine=engine
+        )
     )
 
 
 @register_attack("reident-footprint", aliases=("footprint",))
 def _footprint_reidentifier(
-    cell_size_m: float = 300.0, assignment: str = "optimal"
+    cell_size_m: float = 300.0,
+    assignment: str = "optimal",
+    engine: str = "vectorized",
 ) -> FootprintReidentifier:
     """Spatial-footprint linkage, e.g. ``reident-footprint:cell_size_m=150``."""
-    return FootprintReidentifier(cell_size_m=cell_size_m, assignment=assignment)
+    return FootprintReidentifier(
+        cell_size_m=cell_size_m, assignment=assignment, engine=engine
+    )

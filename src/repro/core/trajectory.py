@@ -337,8 +337,18 @@ class Trajectory:
             return []
         gaps = np.diff(self._timestamps)
         cut_points = np.nonzero(gaps > max_gap_s)[0] + 1
-        pieces = np.split(np.arange(len(self)), cut_points)
-        return [self._masked(np.isin(np.arange(len(self)), piece)) for piece in pieces]
+        # Pieces are contiguous index ranges: slice the arrays directly
+        # (slices of a sorted, validated trajectory keep its invariants).
+        bounds = np.concatenate([[0], cut_points, [len(self)]])
+        return [
+            Trajectory.from_sorted(
+                self.user_id,
+                self._timestamps[lo:hi],
+                self._lats[lo:hi],
+                self._lons[lo:hi],
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
 
     # -- interoperability -----------------------------------------------------
 

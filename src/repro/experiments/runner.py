@@ -287,6 +287,7 @@ def run_reidentification(
     train_fraction: float = 0.5,
     match_distance_m: float = 250.0,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> List[Dict[str, object]]:
     """Experiment E4: re-identification rate with and without swapping.
 
@@ -297,7 +298,9 @@ def run_reidentification(
 
     Two attackers are reported: the POI-matching attacker (defeated as soon as
     POIs are hidden) and the spatial-footprint attacker (only defeated when
-    user segments are actually mixed by the swapping step).
+    user segments are actually mixed by the swapping step).  ``engine``
+    selects their implementation (``"vectorized"`` columnar kernels by
+    default; ``"reference"`` the scalar oracles).
     """
     variants: List[Tuple[str, str]] = [
         ("pseudonyms-only", f"pseudonyms:seed={seed}"),
@@ -312,7 +315,7 @@ def run_reidentification(
         )
     attack_spec = (
         f"reident:train_fraction={train_fraction!r},"
-        f"match_distance_m={match_distance_m!r}"
+        f"match_distance_m={match_distance_m!r},engine={engine}"
     )
     spec = ExperimentSpec(
         name="e4-reidentification",
@@ -345,8 +348,13 @@ def run_tracking(
     zone_radii_m: Sequence[float] = (50.0, 100.0, 200.0),
     policy: SwapPolicy = SwapPolicy.ALWAYS,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> List[Dict[str, object]]:
-    """Experiment E5: multi-target tracking success versus mix-zone radius."""
+    """Experiment E5: multi-target tracking success versus mix-zone radius.
+
+    ``engine`` selects the tracker implementation (``"vectorized"`` columnar
+    default; ``"reference"`` the scalar oracle).
+    """
     radii = [float(radius) for radius in zone_radii_m]
     spec = ExperimentSpec(
         name="e5-tracking",
@@ -357,7 +365,7 @@ def run_tracking(
             )
             for radius in radii
         ],
-        attacks=[("tracking", "tracking")],
+        attacks=[("tracking", f"tracking:engine={engine}")],
         metrics=[("swap-stats", "mixing-entropy")],
         worlds=["world"],
     )

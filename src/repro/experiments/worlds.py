@@ -41,6 +41,7 @@ __all__ = [
     "list_worlds",
     "DerivedPoi",
     "RealWorld",
+    "split_sessions",
     "geolife_world",
 ]
 
@@ -125,11 +126,37 @@ class RealWorld:
         return f"RealWorld(name={self.name!r}, {self.dataset!r})"
 
 
+def split_sessions(dataset: MobilityDataset, sessions_gap_s: float) -> MobilityDataset:
+    """Split every user into per-session pseudo-users at long sampling gaps.
+
+    Real GPS logs pause for hours or days (device off, indoors); treating one
+    user's whole history as a single continuous trace hands every algorithm
+    an unrealistically complete view.  Each contiguous recording session
+    (``Trajectory.split_by_gap``) becomes its own pseudo-user
+    ``<user>#s<k>``, in chronological order; empty sessions never occur by
+    construction (splitting only cuts between existing fixes).  The ``#``
+    separator is deliberately not a path character, so session-split
+    datasets still round-trip through ``write_geolife_directory``.
+    """
+    if sessions_gap_s <= 0.0:
+        raise ValueError(f"sessions_gap_s must be positive, got {sessions_gap_s}")
+    pieces = []
+    for trajectory in dataset:
+        sessions = trajectory.split_by_gap(sessions_gap_s)
+        if len(sessions) == 1:
+            pieces.append(trajectory)
+            continue
+        for k, session in enumerate(sessions):
+            pieces.append(session.with_user_id(f"{session.user_id}#s{k}"))
+    return MobilityDataset(pieces)
+
+
 def geolife_world(
     path: str = "",
     max_users: Optional[int] = None,
     min_points: int = 2,
     max_gap_s: float = 0.0,
+    sessions_gap_s: float = 0.0,
     poi_diameter_m: float = 200.0,
 ) -> RealWorld:
     """A world over a GeoLife-style PLT directory tree.
@@ -147,6 +174,12 @@ def geolife_world(
         When positive, drop every user whose *median* sampling interval
         exceeds this many seconds (sparse loggers defeat co-location and
         stay-point analysis).
+    sessions_gap_s:
+        When positive, split each user into per-session pseudo-users
+        (``<user>#s<k>``) at sampling gaps longer than this
+        (``geolife:...,sessions_gap_s=21600`` cuts at 6-hour silences), so
+        attacks see realistic session structure instead of one multi-year
+        trace per user.  ``min_points`` is re-applied to the sessions.
     poi_diameter_m:
         Stay-point diameter used to derive ground-truth POIs.
     """
@@ -164,6 +197,9 @@ def geolife_world(
         dataset = dataset.filter_users(
             lambda t: len(t) >= 2 and float(np.median(t.segment_durations())) <= max_gap_s
         )
+    if sessions_gap_s and sessions_gap_s > 0.0:
+        dataset = split_sessions(dataset, float(sessions_gap_s))
+        dataset = dataset.filter_users(lambda t: len(t) >= max(int(min_points), 1))
     return RealWorld(name="geolife", dataset=dataset, poi_diameter_m=poi_diameter_m)
 
 

@@ -68,15 +68,30 @@ class Grid:
         col = min(max(col, 0), self.n_cols - 1)
         return row, col
 
-    def cells_of(self, lats: np.ndarray, lons: np.ndarray) -> List[CellIndex]:
-        """Vectorised :meth:`cell_of` over arrays of coordinates."""
+    def _rows_cols(self, lats: np.ndarray, lons: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Clamped integer ``(rows, cols)`` arrays — the one binning formula."""
         lats = np.asarray(lats, dtype=float)
         lons = np.asarray(lons, dtype=float)
-        rows = ((lats - self.bbox.min_lat) / self.lat_step).astype(int)
-        cols = ((lons - self.bbox.min_lon) / self.lon_step).astype(int)
+        rows = ((lats - self.bbox.min_lat) / self.lat_step).astype(np.int64)
+        cols = ((lons - self.bbox.min_lon) / self.lon_step).astype(np.int64)
         rows = np.clip(rows, 0, self.n_rows - 1)
         cols = np.clip(cols, 0, self.n_cols - 1)
+        return rows, cols
+
+    def cells_of(self, lats: np.ndarray, lons: np.ndarray) -> List[CellIndex]:
+        """Vectorised :meth:`cell_of` over arrays of coordinates."""
+        rows, cols = self._rows_cols(lats, lons)
         return list(zip(rows.tolist(), cols.tolist()))
+
+    def cell_ids(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Flat int64 cell identifiers (``row * n_cols + col``), vectorised.
+
+        The scalar inverse of an id is ``(id // n_cols, id % n_cols)``; ids
+        use the same truncate-and-clamp mapping as :meth:`cell_of`, so both
+        representations always agree (footprint matching relies on that).
+        """
+        rows, cols = self._rows_cols(lats, lons)
+        return rows * self.n_cols + cols
 
     def cell_cover(self, lats: np.ndarray, lons: np.ndarray) -> Set[CellIndex]:
         """The set of distinct cells visited by the given coordinates."""

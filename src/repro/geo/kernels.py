@@ -26,9 +26,17 @@ rebuilt on:
   rounds, skipping ahead along the cumulative path extent (the travelled arc
   length upper-bounds any anchor distance, so whole stretches of a window are
   certified in-diameter without evaluating a single pairwise distance);
-* :func:`segmented_radius_pairs` — the planar radius join (DJ-Cluster):
-  every point pair within a radius, restricted to pairs of the same segment
-  (user), via the same ±1-bin join as :func:`iter_neighbor_pairs`.
+* :func:`segmented_radius_pairs` — the planar radius join: every point pair
+  within a radius, restricted to pairs of the same segment (user), via the
+  same bin join as :func:`iter_neighbor_pairs`;
+* :func:`planar_radius_cliques` — the finer-grid radius join (DJ-Cluster):
+  cells of side ``radius / sqrt(2)`` whose co-members are *certified*
+  in-radius (the cell diagonal is below the radius) plus confirmed
+  cross-cell pairs from a ±2-bin join, so dense stays are described by one
+  cell label instead of a materialised near-clique;
+* :func:`segmented_searchsorted` — per-segment insertion points of query
+  timestamps (multi-target tracking resolves every zone boundary of every
+  user this way, one vectorized ``searchsorted`` per user).
 
 Kernels operate on plain numpy arrays (no trajectory types), which keeps this
 module importable from anywhere in the library without cycles.
@@ -37,7 +45,7 @@ module importable from anywhere in the library without cycles.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,6 +61,8 @@ __all__ = [
     "SyncedDistances",
     "windowed_stay_spans",
     "segmented_radius_pairs",
+    "planar_radius_cliques",
+    "segmented_searchsorted",
 ]
 
 
@@ -170,16 +180,25 @@ class ColumnarTraces:
 # The bin join
 # ---------------------------------------------------------------------------
 
-#: The 13 lexicographically-positive neighbor offsets.  Together with the
-#: same-bin case they cover every adjacent unordered bin pair exactly once
-#: (the 13 negative offsets would revisit the same unordered pairs).
-_POSITIVE_OFFSETS: Tuple[Tuple[int, int, int], ...] = tuple(
-    (dr, dc, db)
-    for dr in (-1, 0, 1)
-    for dc in (-1, 0, 1)
-    for db in (-1, 0, 1)
-    if (dr, dc, db) > (0, 0, 0)
-)
+
+def _positive_offsets(
+    reach: Tuple[int, int, int]
+) -> Tuple[Tuple[int, int, int], ...]:
+    """The lexicographically-positive neighbor offsets within ``reach``.
+
+    Together with the same-bin case they cover every unordered bin pair at
+    Chebyshev distance up to ``reach`` (per dimension) exactly once — the
+    mirrored negative offsets would revisit the same unordered pairs.  At the
+    default ``reach=(1, 1, 1)`` these are the classic 13 offsets of a ±1 join.
+    """
+    r0, r1, r2 = reach
+    return tuple(
+        (dr, dc, db)
+        for dr in range(-r0, r0 + 1)
+        for dc in range(-r1, r1 + 1)
+        for db in range(-r2, r2 + 1)
+        if (dr, dc, db) > (0, 0, 0)
+    )
 
 
 def _concat_ranges(start: np.ndarray, count: np.ndarray) -> np.ndarray:
@@ -235,9 +254,13 @@ def _cartesian_pair_batches(
 
 
 def iter_neighbor_pairs(
-    rows: np.ndarray, cols: np.ndarray, buckets: np.ndarray
+    rows: np.ndarray,
+    cols: np.ndarray,
+    buckets: np.ndarray,
+    reach: Union[int, Tuple[int, int, int]] = 1,
+    include_same_bin: bool = True,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-    """Yield all unordered point pairs in the same or adjacent integer bins.
+    """Yield all unordered point pairs in the same or nearby integer bins.
 
     ``rows`` / ``cols`` / ``buckets`` are per-point integer bin coordinates.
     Pairs are yielded as ``(i, j)`` batches of original point indices with
@@ -245,16 +268,30 @@ def iter_neighbor_pairs(
     per neighbor offset so callers can filter each batch down to confirmed
     matches before the next one is materialised (bounding peak memory by the
     densest single offset instead of the whole candidate set).
+
+    ``reach`` is the Chebyshev bin distance joined, per dimension (a scalar
+    applies to all three): the default ``1`` is the classic ±1 join, and a
+    reach of ``0`` in a dimension restricts pairs to the *same* bin of that
+    dimension (e.g. segment identifiers that pairs must never cross).
+    ``include_same_bin=False`` skips the same-bin cartesian products — for
+    callers that handle same-bin points wholesale (certified cliques).
     """
     n = rows.size
     if n < 2:
         return
-    # Shift every coordinate to [1, extent] so the +-1 neighbor shifts below
+    if isinstance(reach, int):
+        reach = (reach, reach, reach)
+    r0, r1, r2 = (int(x) for x in reach)
+    if min(r0, r1, r2) < 0:
+        raise ValueError(f"reach must be non-negative, got {reach}")
+    # Shift every coordinate to [reach, extent] so the neighbor shifts below
     # can never borrow across the packed dimensions.
-    r = np.asarray(rows, dtype=np.int64) - int(rows.min()) + 1
-    c = np.asarray(cols, dtype=np.int64) - int(cols.min()) + 1
-    b = np.asarray(buckets, dtype=np.int64) - int(buckets.min()) + 1
-    dim_r, dim_c, dim_b = int(r.max()) + 2, int(c.max()) + 2, int(b.max()) + 2
+    r = np.asarray(rows, dtype=np.int64) - int(rows.min()) + r0 + 1
+    c = np.asarray(cols, dtype=np.int64) - int(cols.min()) + r1 + 1
+    b = np.asarray(buckets, dtype=np.int64) - int(buckets.min()) + r2 + 1
+    dim_r = int(r.max()) + r0 + 1
+    dim_c = int(c.max()) + r1 + 1
+    dim_b = int(b.max()) + r2 + 1
     if dim_r * dim_c * dim_b >= 2**63:
         raise ValueError(
             f"bin space too large to pack into int64 keys: {dim_r} x {dim_c} x {dim_b}"
@@ -269,14 +306,15 @@ def iter_neighbor_pairs(
 
     # Same-bin pairs: the cartesian product of each bin with itself, kept
     # only where the left sorted position precedes the right one.
-    for left, right in _cartesian_pair_batches(start, count, start, count):
-        mask = left < right
-        if mask.any():
-            yield _as_unordered(order[left[mask]], order[right[mask]])
+    if include_same_bin:
+        for left, right in _cartesian_pair_batches(start, count, start, count):
+            mask = left < right
+            if mask.any():
+                yield _as_unordered(order[left[mask]], order[right[mask]])
 
     # Cross-bin pairs: for each positive offset, join bins whose packed keys
     # differ by exactly that offset's key delta.
-    for dr, dc, db in _POSITIVE_OFFSETS:
+    for dr, dc, db in _positive_offsets((r0, r1, r2)):
         delta = (dr * dim_c + dc) * dim_b + db
         targets = unique_keys + delta
         pos = np.searchsorted(unique_keys, targets)
@@ -680,7 +718,7 @@ def segmented_radius_pairs(
     r2 = radius * radius
     kept_i: List[np.ndarray] = []
     kept_j: List[np.ndarray] = []
-    for i, j in iter_neighbor_pairs(rows, cols, segments * 2):
+    for i, j in iter_neighbor_pairs(rows, cols, segments, reach=(1, 1, 0)):
         dx = xs[i] - xs[j]
         dy = ys[i] - ys[j]
         close = dx * dx + dy * dy <= r2
@@ -690,3 +728,115 @@ def segmented_radius_pairs(
     if not kept_i:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
     return np.concatenate(kept_i), np.concatenate(kept_j)
+
+
+#: Safety margin in meters shrinking the clique-grid cell below
+#: ``radius / sqrt(2)``.  In exact arithmetic any two points of one cell are
+#: within the cell diagonal = ``radius``; the margin absorbs the floating
+#: point slop of the binning divisions, so a certified same-cell pair can
+#: never be a pair an exact ``dx*dx + dy*dy <= radius*radius`` test rejects.
+#: The effective margin is capped at 1 % of the radius: any larger fraction
+#: would let a radius span more than two of the shrunken cells, breaking the
+#: ±2-bin coverage (``sqrt(2) / (1 - f) <= 2`` needs ``f <= 0.29``), while
+#: 1 % of any super-margin radius still dwarfs coordinate rounding error.
+_CLIQUE_MARGIN_M = 1e-6
+
+
+def planar_radius_cliques(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Radius join on the finer clique grid: certified cells + cross-cell pairs.
+
+    Bins the planar points into cells of side ``(radius - margin) / sqrt(2)``:
+    the cell diagonal is below ``radius``, so any two points sharing a cell
+    are *certified* within the radius with no pairwise confirmation — dense
+    neighbourhoods (the bulk of DJ-Cluster's pair volume: a stay of ``k``
+    fixes is a ~``k^2/2``-pair clique) are described by one cell label
+    instead of materialised pairs.  Cross-cell candidates come from the
+    ±2-bin join (a radius spans at most two of the finer cells) and are
+    confirmed with the exact squared planar distance.
+
+    Returns ``(cells, pair_a, pair_b)``: ``cells`` assigns every point the
+    integer label of its clique cell (contiguous, ``0..n_cells-1``), and the
+    pair arrays (``i < j``) hold the confirmed pairs *between* distinct
+    cells.  The full neighbour relation of a point is its cell co-members
+    plus its cross-cell pairs; each unordered pair appears exactly once.
+
+    Radii at or below the certification margin (~1e-6 m) cannot be certified
+    by any cell: every point then gets a singleton cell and all pairs are
+    confirmed exactly, preserving the contract.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if radius <= 0.0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    empty = np.zeros(0, dtype=np.int64)
+    if xs.size == 0:
+        return empty, empty.copy(), empty.copy()
+    r2 = radius * radius
+    if radius <= _CLIQUE_MARGIN_M:
+        # Sub-margin radius: no cell small enough can *certify* its
+        # co-members, so fall back to singleton cells and confirm every
+        # candidate pair exactly (±1 join at cell size = radius).
+        cells = np.arange(xs.size, dtype=np.int64)
+        rows = np.floor((ys - ys.min()) / radius).astype(np.int64)
+        cols = np.floor((xs - xs.min()) / radius).astype(np.int64)
+        offsets_reach: Union[int, Tuple[int, int, int]] = 1
+        include_same_bin = True
+    else:
+        cell = (radius - min(_CLIQUE_MARGIN_M, 0.01 * radius)) / np.sqrt(2.0)
+        rows = np.floor((ys - ys.min()) / cell).astype(np.int64)
+        cols = np.floor((xs - xs.min()) / cell).astype(np.int64)
+        # Contiguous cell labels from the packed (row, col) keys.
+        span = int(cols.max()) + 1
+        _, cells = np.unique(rows * span + cols, return_inverse=True)
+        cells = cells.astype(np.int64)
+        offsets_reach = (2, 2, 0)
+        include_same_bin = False
+    if xs.size < 2:
+        return cells, empty.copy(), empty.copy()
+
+    kept_i: List[np.ndarray] = []
+    kept_j: List[np.ndarray] = []
+    for i, j in iter_neighbor_pairs(
+        rows, cols, np.zeros(xs.size, dtype=np.int64), reach=offsets_reach,
+        include_same_bin=include_same_bin,
+    ):
+        dx = xs[i] - xs[j]
+        dy = ys[i] - ys[j]
+        close = dx * dx + dy * dy <= r2
+        if close.any():
+            kept_i.append(i[close])
+            kept_j.append(j[close])
+    if not kept_i:
+        return cells, empty.copy(), empty.copy()
+    return cells, np.concatenate(kept_i), np.concatenate(kept_j)
+
+
+# ---------------------------------------------------------------------------
+# Segmented timestamp search (multi-target tracking)
+# ---------------------------------------------------------------------------
+
+
+def segmented_searchsorted(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    queries: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """Per-segment ``searchsorted``: insertion points of ``queries`` in every segment.
+
+    ``values`` is a flattened array whose segments ``[offsets[k], offsets[k+1])``
+    are each sorted (the columnar timestamp layout: per-user chronological
+    runs).  Returns an ``(n_segments, n_queries)`` int64 matrix of positions
+    *relative to each segment's start*, one vectorized ``searchsorted`` per
+    segment instead of one Python-level scan per (segment, query) pair.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    queries = np.asarray(queries, dtype=float)
+    n_segments = offsets.size - 1
+    out = np.empty((n_segments, queries.size), dtype=np.int64)
+    for k in range(n_segments):
+        segment = values[offsets[k] : offsets[k + 1]]
+        out[k] = np.searchsorted(segment, queries, side=side)
+    return out

@@ -14,10 +14,11 @@ exported for external tools.  Timestamps are converted to POSIX seconds (UTC).
 
 from __future__ import annotations
 
-import os
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import List, Optional
+
+import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
 
@@ -107,16 +108,25 @@ def read_geolife_user(user_dir: str | Path, user_id: Optional[str] = None) -> Tr
     ``user_dir`` is the per-user directory (e.g. ``Data/000``); the PLT files
     are looked up under its ``Trajectory`` subdirectory, or directly inside
     ``user_dir`` when that subdirectory does not exist.
+
+    Per-file arrays are accumulated and concatenated once — a single
+    validate-and-sort pass over the user's full history, instead of
+    re-validating and re-sorting the accumulated arrays after every file.
     """
     user_dir = Path(user_dir)
     user_id = user_id or user_dir.name
     plt_dir = user_dir / "Trajectory"
     if not plt_dir.is_dir():
         plt_dir = user_dir
-    result = Trajectory.empty(user_id)
-    for plt_path in sorted(plt_dir.glob("*.plt")):
-        result = result.append(read_plt_file(plt_path, user_id))
-    return result
+    parts = [read_plt_file(plt_path, user_id) for plt_path in sorted(plt_dir.glob("*.plt"))]
+    if not parts:
+        return Trajectory.empty(user_id)
+    return Trajectory(
+        user_id,
+        np.concatenate([p.timestamps for p in parts]),
+        np.concatenate([p.lats for p in parts]),
+        np.concatenate([p.lons for p in parts]),
+    )
 
 
 def read_geolife_directory(

@@ -39,6 +39,7 @@ __all__ = [
     "reidentification_truth",
     "zone_link_truth",
     "tracking_success",
+    "mean_zone_correctness",
     "empirical_mixing_entropy_bits",
 ]
 
@@ -225,6 +226,26 @@ def tracking_success(
     if total == 0:
         return 0.0
     return correct / total
+
+
+def mean_zone_correctness(
+    linkages: Sequence[ZoneLinkage], truths: Sequence[Mapping[str, str]]
+) -> float:
+    """Average per-zone linkage correctness, skipping unscorable zones.
+
+    ``ZoneLinkage.correctness`` returns ``nan`` for zones where none of the
+    attacker's links overlaps the truth (nothing to score); averaging those
+    as zeroes would deflate tracking success and overstate privacy.  Returns
+    ``nan`` when no zone is scorable at all.
+    """
+    values = np.array(
+        [linkage.correctness(truth) for linkage, truth in zip(linkages, truths)],
+        dtype=float,
+    )
+    scorable = values[~np.isnan(values)]
+    if scorable.size == 0:
+        return float("nan")
+    return float(np.mean(scorable))
 
 
 def empirical_mixing_entropy_bits(records: Sequence[SwapRecord]) -> float:

@@ -88,9 +88,17 @@ class TestFootprintAttack:
         result = attacker.attack(MobilityDataset(), knowledge)
         assert result.predicted == {}
 
-    def test_cosine_similarity_bounds(self):
+    def test_jaccard_similarity_bounds(self):
+        import numpy as np
+
         attacker = FootprintReidentifier()
-        a = {(0, 0): 2.0, (1, 1): 1.0}
-        assert attacker._cosine(a, a) == pytest.approx(1.0)
-        assert attacker._cosine(a, {(5, 5): 1.0}) == 0.0
-        assert attacker._cosine({}, a) == 0.0
+        a = np.array([3, 7, 11], dtype=np.int64)
+        assert attacker._jaccard(a, a) == pytest.approx(1.0)
+        assert attacker._jaccard(a, np.array([99], dtype=np.int64)) == 0.0
+        assert attacker._jaccard(np.zeros(0, dtype=np.int64), a) == 0.0
+        assert attacker._jaccard(a, np.array([7, 99], dtype=np.int64)) == pytest.approx(1.0 / 4.0)
+        # The scalar oracle agrees bitwise (integer set sizes on both paths).
+        reference = FootprintReidentifier(engine="reference")
+        assert reference._jaccard(a, np.array([7, 99], dtype=np.int64)) == attacker._jaccard(
+            a, np.array([7, 99], dtype=np.int64)
+        )

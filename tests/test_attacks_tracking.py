@@ -43,13 +43,18 @@ class TestZoneLinking:
         assert linkage.links == {}
 
     def test_correctness_scoring(self):
+        import math
+
         zone = MixZone(LYON_LAT, LYON_LON, 100.0, 0.0, 10.0, frozenset({"a"}))
         from repro.attacks.tracking import ZoneLinkage
 
         linkage = ZoneLinkage(zone=zone, links={"a": "b"}, incoming=["a"], outgoing=["b"])
         assert linkage.correctness({"a": "b"}) == 1.0
         assert linkage.correctness({"a": "c"}) == 0.0
-        assert linkage.correctness({}) == 0.0
+        # No overlap with the truth: nothing to score, NOT "attacker wrong".
+        # (A 0.0 here deflated averaged tracking success — the regression this pins.)
+        assert math.isnan(linkage.correctness({}))
+        assert math.isnan(linkage.correctness({"z": "q"}))
 
 
 class TestTrackingOnPipeline:

@@ -15,7 +15,9 @@ from repro.geo.kernels import (
     connected_components,
     iter_neighbor_pairs,
     masked_mean_distances,
+    planar_radius_cliques,
     segmented_radius_pairs,
+    segmented_searchsorted,
     windowed_stay_spans,
 )
 
@@ -120,6 +122,167 @@ class TestBinJoin:
                 assert pair not in got
                 got.add(pair)
         assert got == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reach_two_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 50
+        rows = rng.integers(-3, 4, n)
+        cols = rng.integers(0, 6, n)
+        buckets = rng.integers(0, 4, n)
+        got = set()
+        for i, j in iter_neighbor_pairs(rows, cols, buckets, reach=(2, 2, 0)):
+            for a, b in zip(i, j):
+                pair = (int(a), int(b))
+                assert pair not in got, "pair emitted twice"
+                got.add(pair)
+        expected = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if abs(rows[i] - rows[j]) <= 2
+            and abs(cols[i] - cols[j]) <= 2
+            and buckets[i] == buckets[j]
+        }
+        assert got == expected
+
+    def test_zero_reach_dimension_never_crosses(self):
+        rows = np.array([0, 0, 0, 0])
+        cols = np.array([0, 0, 1, 1])
+        segments = np.array([0, 1, 0, 1])
+        pairs = set()
+        for i, j in iter_neighbor_pairs(rows, cols, segments, reach=(1, 1, 0)):
+            pairs.update(zip(i.tolist(), j.tolist()))
+        assert pairs == {(0, 2), (1, 3)}
+
+    def test_same_bin_can_be_excluded(self):
+        rows = np.array([0, 0, 1])
+        zeros = np.zeros(3, dtype=int)
+        pairs = set()
+        for i, j in iter_neighbor_pairs(rows, zeros, zeros, include_same_bin=False):
+            pairs.update(zip(i.tolist(), j.tolist()))
+        assert pairs == {(0, 2), (1, 2)}  # the same-bin (0, 1) is skipped
+
+    def test_negative_reach_rejected(self):
+        one = np.zeros(2, dtype=int)
+        with pytest.raises(ValueError, match="reach"):
+            list(iter_neighbor_pairs(one, one, one, reach=(1, -1, 0)))
+
+
+class TestPlanarRadiusCliques:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cell_comembers_plus_pairs_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 120))
+        xs = rng.uniform(0.0, 400.0, n)
+        ys = rng.uniform(0.0, 400.0, n)
+        radius = float(rng.uniform(5.0, 120.0))
+        cells, a, b = planar_radius_cliques(xs, ys, radius)
+        assert cells.size == n
+        got = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if cells[i] == cells[j]
+        }
+        cross = set(zip(a.tolist(), b.tolist()))
+        assert len(cross) == a.size, "cross-cell pair emitted twice"
+        assert not (got & cross), "a same-cell pair must not also be a cross pair"
+        got |= cross
+        r2 = radius * radius
+        expected = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (xs[i] - xs[j]) ** 2 + (ys[i] - ys[j]) ** 2 <= r2
+        }
+        assert got == expected
+
+    def test_certified_cells_are_within_radius(self):
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0.0, 50.0, 200)
+        ys = rng.uniform(0.0, 50.0, 200)
+        radius = 30.0
+        cells, _, _ = planar_radius_cliques(xs, ys, radius)
+        for c in np.unique(cells):
+            members = np.nonzero(cells == c)[0]
+            mx, my = xs[members], ys[members]
+            d2 = (mx[:, None] - mx[None, :]) ** 2 + (my[:, None] - my[None, :]) ** 2
+            assert float(d2.max()) <= radius * radius
+
+    def test_empty_single_and_invalid(self):
+        empty = np.zeros(0)
+        cells, a, b = planar_radius_cliques(empty, empty, 10.0)
+        assert cells.size == a.size == b.size == 0
+        cells, a, b = planar_radius_cliques(np.zeros(1), np.zeros(1), 10.0)
+        assert cells.tolist() == [0] and a.size == 0
+        with pytest.raises(ValueError, match="radius"):
+            planar_radius_cliques(np.zeros(2), np.zeros(2), 0.0)
+
+    def test_sub_margin_radius_never_falsely_certifies(self):
+        """A radius below the certification margin must confirm all pairs.
+
+        Regression: the old degenerate fallback binned at cell = radius and
+        still treated same-cell co-members as certified, declaring points up
+        to radius * sqrt(2) apart to be neighbours.
+        """
+        r = 1e-7
+        xs = np.array([0.05 * r, 0.95 * r])
+        ys = np.array([0.05 * r, 0.95 * r])  # distance ~1.27 * r: NOT a pair
+        cells, a, b = planar_radius_cliques(xs, ys, r)
+        assert cells[0] != cells[1], "sub-margin radii must not form cliques"
+        assert a.size == 0
+        # A genuinely close pair at the same radius is still found.
+        cells, a, b = planar_radius_cliques(
+            np.array([0.0, 0.5 * r]), np.array([0.0, 0.0]), r
+        )
+        assert list(zip(a.tolist(), b.tolist())) == [(0, 1)]
+
+    def test_near_margin_radius_keeps_two_bin_coverage(self):
+        """Radii just above the margin must still find pairs ~radius apart.
+
+        Regression: a fixed absolute margin shrank the cell so much at
+        near-margin radii that in-radius pairs spanned three bins, beyond
+        the ±2-bin join (the margin is now capped at 1 % of the radius).
+        """
+        rng = np.random.default_rng(8)
+        r = 2e-6  # twice the absolute margin
+        xs = rng.uniform(0.0, 8e-6, 120)
+        ys = rng.uniform(0.0, 8e-6, 120)
+        cells, a, b = planar_radius_cliques(xs, ys, r)
+        pairs = set(zip(a.tolist(), b.tolist()))
+        n = xs.size
+        for i in range(n):
+            for j in range(i + 1, n):
+                if cells[i] == cells[j]:
+                    pairs.add((i, j))
+        brute = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (xs[i] - xs[j]) ** 2 + (ys[i] - ys[j]) ** 2 <= r * r
+        }
+        assert pairs == brute
+
+
+class TestSegmentedSearchsorted:
+    def test_matches_per_segment_searchsorted(self):
+        rng = np.random.default_rng(3)
+        segments = [np.sort(rng.uniform(0.0, 100.0, n)) for n in (17, 0, 5)]
+        values = np.concatenate(segments)
+        offsets = np.concatenate([[0], np.cumsum([s.size for s in segments])])
+        queries = rng.uniform(-10.0, 110.0, 11)
+        for side in ("left", "right"):
+            out = segmented_searchsorted(values, offsets, queries, side=side)
+            assert out.shape == (3, 11)
+            for k, segment in enumerate(segments):
+                np.testing.assert_array_equal(
+                    out[k], np.searchsorted(segment, queries, side=side)
+                )
+
+    def test_no_segments(self):
+        out = segmented_searchsorted(np.zeros(0), np.array([0]), np.array([1.0]))
+        assert out.shape == (0, 1)
 
 
 class TestSpatialTimeBins:

@@ -72,6 +72,51 @@ class TestPlt:
         with pytest.raises(FileNotFoundError):
             read_geolife_directory(tmp_path / "nope")
 
+    def test_multi_file_user_concatenates_and_sorts_once(self, tmp_path):
+        """A user split over several PLT files loads as one sorted trajectory.
+
+        Regression for the per-file ``Trajectory.append`` accumulation that
+        re-validated and re-sorted the whole history after every file: the
+        single-concatenation reader must produce the identical trajectory,
+        including interleaved timestamps across files (file order must not
+        leak into the fix order).
+        """
+        from repro.io.geolife import read_geolife_user
+
+        rng = np.random.default_rng(1)
+        chunks = []
+        t0 = 1_400_000_000.0
+        for k in range(5):
+            n = int(rng.integers(3, 30))
+            # Overlapping time ranges across files: sorting must interleave.
+            times = t0 + rng.uniform(0.0, 5_000.0, n).round()
+            chunks.append(
+                Trajectory(
+                    "007",
+                    times,
+                    45.0 + rng.uniform(-0.01, 0.01, n),
+                    4.0 + rng.uniform(-0.01, 0.01, n),
+                )
+            )
+        user_dir = tmp_path / "007" / "Trajectory"
+        for k, chunk in enumerate(chunks):
+            write_plt_file(user_dir / f"2008_{k:02d}.plt", chunk)
+
+        loaded = read_geolife_user(tmp_path / "007")
+        reference = Trajectory.empty("007")
+        for k in range(5):
+            reference = reference.append(read_plt_file(user_dir / f"2008_{k:02d}.plt", "007"))
+        assert loaded == reference
+        assert len(loaded) == sum(len(c) for c in chunks)
+        assert np.all(np.diff(loaded.timestamps) >= 0.0)
+
+    def test_read_geolife_user_empty_directory(self, tmp_path):
+        from repro.io.geolife import read_geolife_user
+
+        (tmp_path / "042").mkdir()
+        loaded = read_geolife_user(tmp_path / "042")
+        assert loaded.user_id == "042" and len(loaded) == 0
+
 
 class TestCsv:
     def test_round_trip(self, tmp_path, dataset):

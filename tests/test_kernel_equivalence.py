@@ -16,9 +16,16 @@ from hypothesis import strategies as st
 
 from repro.attacks.djcluster import DjCluster, DjClusterConfig
 from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
+from repro.attacks.reident import (
+    FootprintReidentifier,
+    ReidentificationConfig,
+    Reidentifier,
+)
+from repro.attacks.tracking import MultiTargetTracker, TrackingConfig
 from repro.baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
 from repro.core.trajectory import MobilityDataset, Trajectory
 from repro.mixzones.detection import MixZoneDetectionConfig, MixZoneDetector
+from repro.mixzones.zones import MixZone
 
 BASE_LAT, BASE_LON = 45.764, 4.836
 
@@ -242,6 +249,179 @@ class TestDjClusterEquivalence:
             assert vectorized == reference, f"mismatch on {name}"
         moving = _degenerate_datasets()["all-moving"]["runner"]
         assert DjCluster().extract(moving) == []
+
+
+def _assert_reident_identical(vectorized, reference):
+    """Bitwise equality of two ReidentificationResults (predictions + scores)."""
+    assert vectorized.predicted == reference.predicted
+    assert set(vectorized.scores) == set(reference.scores)
+    for pseudonym, row in vectorized.scores.items():
+        reference_row = reference.scores[pseudonym]
+        assert set(row) == set(reference_row)
+        for candidate, score in row.items():
+            assert score == reference_row[candidate], (pseudonym, candidate)
+
+
+class TestReidentEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=4),
+        n_segments=st.integers(min_value=1, max_value=6),
+        match_m=st.floats(min_value=100.0, max_value=600.0),
+        assignment=st.sampled_from(["optimal", "greedy"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_poi_matcher_identical_to_reference(
+        self, seed, n_users, n_segments, match_m, assignment
+    ):
+        training = _dwell_and_move_dataset(seed, n_users, n_segments, interval_s=45.0)
+        published = _dwell_and_move_dataset(seed + 1, n_users, n_segments, interval_s=45.0)
+        base = dict(match_distance_m=match_m, assignment=assignment)
+        vectorized = Reidentifier(ReidentificationConfig(**base))
+        reference = Reidentifier(ReidentificationConfig(engine="reference", **base))
+        knowledge = vectorized.knowledge_from_dataset(training)
+        _assert_reident_identical(
+            vectorized.attack(published, knowledge),
+            reference.attack(published, knowledge),
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=4),
+        cell_m=st.floats(min_value=100.0, max_value=800.0),
+        assignment=st.sampled_from(["optimal", "greedy"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_footprint_matcher_identical_to_reference(
+        self, seed, n_users, cell_m, assignment
+    ):
+        training = _dwell_and_move_dataset(seed, n_users, 5, interval_s=40.0)
+        published = _dwell_and_move_dataset(seed + 1, n_users, 5, interval_s=40.0)
+        vectorized = FootprintReidentifier(cell_size_m=cell_m, assignment=assignment)
+        reference = FootprintReidentifier(
+            cell_size_m=cell_m, assignment=assignment, engine="reference"
+        )
+        knowledge_v = vectorized.knowledge_from_dataset(training)
+        knowledge_r = reference.knowledge_from_dataset(training)
+        assert set(knowledge_v) == set(knowledge_r)
+        for user, footprint in knowledge_v.items():
+            np.testing.assert_array_equal(footprint, knowledge_r[user])
+        _assert_reident_identical(
+            vectorized.attack(published, knowledge_v),
+            reference.attack(published, knowledge_v),
+        )
+
+    def test_degenerate_traces_identical(self):
+        datasets = _degenerate_datasets()
+        training = datasets["all-stationary"]
+        for name, published in datasets.items():
+            vectorized = Reidentifier()
+            reference = Reidentifier(ReidentificationConfig(engine="reference"))
+            knowledge = vectorized.knowledge_from_dataset(training)
+            _assert_reident_identical(
+                vectorized.attack(published, knowledge),
+                reference.attack(published, knowledge),
+            )
+            fp_v = FootprintReidentifier()
+            fp_r = FootprintReidentifier(engine="reference")
+            fp_knowledge = fp_v.knowledge_from_dataset(training)
+            fp_knowledge_r = fp_r.knowledge_from_dataset(training)
+            for user, footprint in fp_knowledge.items():
+                np.testing.assert_array_equal(footprint, fp_knowledge_r[user])
+            _assert_reident_identical(
+                fp_v.attack(published, fp_knowledge),
+                fp_r.attack(published, fp_knowledge),
+            )
+        # No knowledge at all: every prediction must be None on both engines.
+        empty_v = Reidentifier().attack(datasets["single-fix"], {})
+        assert all(v is None for v in empty_v.predicted.values())
+
+
+def _zone_grid(dataset: MobilityDataset, n_zones: int, seed: int) -> list:
+    """Plausible mix-zones scattered over the dataset's space-time extent."""
+    rng = np.random.default_rng(seed)
+    non_empty = [t for t in dataset if len(t) > 0]
+    if not non_empty:
+        return [
+            MixZone(BASE_LAT, BASE_LON, 100.0, 0.0, 60.0, frozenset())
+            for _ in range(n_zones)
+        ]
+    bbox = dataset.bbox
+    t_min = min(t.first.timestamp for t in non_empty)
+    t_max = max(t.last.timestamp for t in non_empty)
+    zones = []
+    for _ in range(n_zones):
+        t0 = rng.uniform(t_min - 100.0, t_max + 100.0)
+        zones.append(
+            MixZone(
+                center_lat=rng.uniform(bbox.min_lat, bbox.max_lat),
+                center_lon=rng.uniform(bbox.min_lon, bbox.max_lon),
+                radius_m=float(rng.uniform(50.0, 300.0)),
+                t_start=t0,
+                t_end=t0 + float(rng.uniform(0.0, 900.0)),
+                participants=frozenset(t.user_id for t in non_empty),
+            )
+        )
+    return zones
+
+
+class TestTrackingEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=5),
+        n_points=st.integers(min_value=2, max_value=40),
+        n_zones=st.integers(min_value=1, max_value=6),
+        search_radius_m=st.floats(min_value=100.0, max_value=2000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linkages_identical_to_reference(
+        self, seed, n_users, n_points, n_zones, search_radius_m
+    ):
+        dataset = _random_dataset(seed, n_users, n_points, span_s=3600.0)
+        zones = _zone_grid(dataset, n_zones, seed)
+        config = dict(search_radius_m=search_radius_m)
+        vectorized = MultiTargetTracker(TrackingConfig(**config)).link_zones(dataset, zones)
+        reference = MultiTargetTracker(
+            TrackingConfig(engine="reference", **config)
+        ).link_zones(dataset, zones)
+        assert len(vectorized) == len(reference)
+        for linkage_v, linkage_r in zip(vectorized, reference):
+            assert linkage_v.incoming == linkage_r.incoming
+            assert linkage_v.outgoing == linkage_r.outgoing
+            assert linkage_v.links == linkage_r.links
+
+    def test_degenerate_traces_identical(self):
+        for name, dataset in _degenerate_datasets().items():
+            zones = _zone_grid(dataset, 4, seed=13)
+            vectorized = MultiTargetTracker().link_zones(dataset, zones)
+            reference = MultiTargetTracker(
+                TrackingConfig(engine="reference")
+            ).link_zones(dataset, zones)
+            for linkage_v, linkage_r in zip(vectorized, reference):
+                assert linkage_v.links == linkage_r.links, f"mismatch on {name}"
+                assert linkage_v.incoming == linkage_r.incoming
+                assert linkage_v.outgoing == linkage_r.outgoing
+
+    def test_empty_zone_list_and_empty_dataset(self):
+        assert MultiTargetTracker().link_zones(MobilityDataset(), []) == []
+        zones = _zone_grid(MobilityDataset(), 2, seed=3)
+        linkages = MultiTargetTracker().link_zones(MobilityDataset(), zones)
+        assert all(linkage.links == {} for linkage in linkages)
+
+    def test_zone_chunking_matches_unchunked(self, monkeypatch):
+        """The memory-bounding zone chunks must not change any linkage."""
+        import repro.attacks.tracking as tracking_module
+
+        dataset = _random_dataset(3, n_users=4, n_points=30, span_s=3600.0)
+        zones = _zone_grid(dataset, 9, seed=3)
+        whole = MultiTargetTracker().link_zones(dataset, zones)
+        monkeypatch.setattr(tracking_module, "_MAX_STATE_CELLS", 8)  # 2-zone chunks
+        chunked = MultiTargetTracker().link_zones(dataset, zones)
+        assert len(chunked) == len(whole)
+        for linkage_c, linkage_w in zip(chunked, whole):
+            assert linkage_c.links == linkage_w.links
+            assert linkage_c.incoming == linkage_w.incoming
+            assert linkage_c.outgoing == linkage_w.outgoing
 
 
 class TestWait4MeEquivalence:

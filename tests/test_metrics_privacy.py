@@ -9,6 +9,7 @@ from repro.metrics.privacy import (
     PoiRetrievalScore,
     empirical_mixing_entropy_bits,
     majority_owner,
+    mean_zone_correctness,
     poi_retrieval_per_user,
     poi_retrieval_pooled,
     reidentification_truth,
@@ -85,6 +86,25 @@ class TestOwnershipHelpers:
 class TestTrackingMetrics:
     def test_tracking_success_empty(self):
         assert tracking_success([], []) == 0.0
+
+    def test_mean_zone_correctness_skips_unscorable_zones(self):
+        import math
+
+        from repro.attacks.tracking import ZoneLinkage
+        from repro.mixzones.zones import MixZone
+
+        zone = MixZone(45.0, 4.0, 100.0, 0.0, 10.0, frozenset({"a"}))
+        scored = ZoneLinkage(zone=zone, links={"a": "b"}, incoming=["a"], outgoing=["b"])
+        wrong = ZoneLinkage(zone=zone, links={"a": "c"}, incoming=["a"], outgoing=["c"])
+        unscorable = ZoneLinkage(zone=zone, links={"x": "y"}, incoming=["x"], outgoing=["y"])
+        truth = {"a": "b"}
+        # The unscorable zone is skipped, not averaged in as 0.0 — averaging
+        # it as a failure deflated tracking success (overstating privacy).
+        assert mean_zone_correctness([scored, unscorable], [truth, truth]) == 1.0
+        assert mean_zone_correctness([scored, wrong, unscorable], [truth] * 3) == 0.5
+        # Nothing scorable at all: nan, not 0.0.
+        assert math.isnan(mean_zone_correctness([unscorable], [truth]))
+        assert math.isnan(mean_zone_correctness([], []))
 
     def test_entropy_empty(self):
         assert empirical_mixing_entropy_bits([]) == 0.0

@@ -167,6 +167,36 @@ class TestTransformations:
     def test_split_by_gap_empty(self):
         assert Trajectory.empty("u").split_by_gap(10.0) == []
 
+    def test_split_by_gap_many_gaps_matches_masked_reference(self):
+        """Contiguous-slice splitting must equal the old per-piece masking.
+
+        Regression for the O(n * pieces) implementation that rebuilt a
+        full-length boolean mask per piece: on a trace that alternates a gap
+        every few fixes, every fix must land in exactly one piece, in order,
+        with identical arrays.
+        """
+        rng = np.random.default_rng(0)
+        n = 400
+        intervals = rng.uniform(1.0, 20.0, n)
+        intervals[rng.random(n) < 0.3] = 5_000.0  # ~120 gaps
+        times = np.cumsum(intervals)
+        lats = 45.0 + np.cumsum(rng.uniform(-1e-4, 1e-4, n))
+        lons = 4.0 + np.cumsum(rng.uniform(-1e-4, 1e-4, n))
+        traj = Trajectory("u", times, lats, lons)
+        pieces = traj.split_by_gap(60.0)
+        # Reference semantics: mask-based reconstruction of each piece.
+        gaps = np.diff(times)
+        cut_points = np.nonzero(gaps > 60.0)[0] + 1
+        reference = [
+            traj.filter_mask(np.isin(np.arange(n), piece))
+            for piece in np.split(np.arange(n), cut_points)
+        ]
+        assert len(pieces) > 50
+        assert pieces == reference
+        assert sum(len(p) for p in pieces) == n
+        for piece in pieces:
+            assert np.all(np.diff(piece.timestamps) <= 60.0)
+
     @given(factor=st.integers(min_value=1, max_value=7))
     @settings(max_examples=20, deadline=None)
     def test_downsample_never_loses_first_point(self, factor):

@@ -144,3 +144,68 @@ class TestGeoLifeWorld:
     def test_missing_directory_raises(self):
         with pytest.raises(FileNotFoundError):
             make_world("geolife:path=/nonexistent/geolife/root")
+
+
+class TestSessionSplitting:
+    @pytest.fixture()
+    def gappy_plt_root(self, tmp_path):
+        """One synthetic PLT user whose trace pauses for six hours twice."""
+        import numpy as np
+
+        from repro.core.trajectory import Trajectory
+        from repro.io.geolife import write_plt_file
+
+        times, lats, lons = [], [], []
+        t = 1_400_000_000.0
+        for session in range(3):
+            for i in range(20):
+                times.append(t)
+                lats.append(45.0 + session * 0.001 + i * 1e-5)
+                lons.append(4.0 + i * 1e-5)
+                t += 30.0
+            t += 6 * 3600.0  # recording silence between sessions
+        trajectory = Trajectory("000", np.array(times), np.array(lats), np.array(lons))
+        write_plt_file(tmp_path / "000" / "Trajectory" / "trace.plt", trajectory)
+        return tmp_path
+
+    def test_sessions_gap_splits_users(self, gappy_plt_root):
+        whole = geolife_world(path=str(gappy_plt_root))
+        assert whole.user_ids == ["000"]
+        split = geolife_world(path=str(gappy_plt_root), sessions_gap_s=3600.0)
+        assert split.user_ids == ["000#s0", "000#s1", "000#s2"]
+        assert split.dataset.n_points == whole.dataset.n_points
+        for trajectory in split.dataset:
+            assert len(trajectory) == 20
+            # No residual six-hour silence inside any session.
+            assert float(trajectory.segment_durations().max()) <= 3600.0
+
+    def test_session_split_dataset_round_trips_through_plt(self, gappy_plt_root, tmp_path):
+        """Pseudo-user ids must not be path characters: PLT export round-trips."""
+        from repro.io.geolife import read_geolife_directory, write_geolife_directory
+
+        split = geolife_world(path=str(gappy_plt_root), sessions_gap_s=3600.0)
+        out = tmp_path / "export"
+        write_geolife_directory(out, split.dataset)
+        loaded = read_geolife_directory(out)
+        assert set(loaded.user_ids) == set(split.dataset.user_ids)
+        assert loaded.n_points == split.dataset.n_points
+
+    def test_sessions_spec_string_and_min_points(self, gappy_plt_root):
+        world = make_world(
+            f"geolife:path={gappy_plt_root},sessions_gap_s=3600.0,min_points=25"
+        )
+        # Every 20-fix session falls below min_points and is dropped.
+        assert world.user_ids == []
+
+    def test_split_sessions_rejects_non_positive_gap(self):
+        from repro.experiments.worlds import split_sessions
+
+        with pytest.raises(ValueError, match="sessions_gap_s"):
+            split_sessions(MobilityDataset(), 0.0)
+
+    def test_single_session_users_keep_their_id(self):
+        from repro.experiments.worlds import split_sessions
+
+        world = generate_world(n_users=2, n_days=1, seed=5)
+        split = split_sessions(world.dataset, sessions_gap_s=10 * 86400.0)
+        assert split.user_ids == world.dataset.user_ids
