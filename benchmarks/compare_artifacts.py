@@ -6,7 +6,7 @@ Usage::
 
     python benchmarks/compare_artifacts.py \
         [--baseline benchmarks/artifacts] [--candidate DIR] \
-        [--threshold 0.30]
+        [--threshold 0.30] [--calibrate] [--update-baselines]
 
 Every candidate artifact whose file name also exists under the baseline
 directory is compared cell by cell: each timing cell present in both files
@@ -17,6 +17,20 @@ one noisy cell while still catching a hot path that genuinely slowed down.
 The exit status is non-zero when any compared artifact regresses, or when
 the two directories share no artifact at all (an empty comparison must not
 pass silently).
+
+``--calibrate`` divides every cell ratio by the artifacts' machine-speed
+ratio (``candidate calibration_wall_s / baseline calibration_wall_s``, the
+fixed synthetic-kernel timing the bench conftest stamps into each artifact).
+Machine speed cancels out, so one committed baseline serves heterogeneous
+runners at a tighter threshold — the CI gate runs
+``--calibrate --threshold 0.20``.  Artifact pairs missing a calibration
+stamp on either side fall back to raw ratios (with a note).
+
+``--update-baselines`` copies every *passing* candidate artifact over its
+committed baseline, so refreshing baselines after a hardware-independent
+speedup is one command::
+
+    python benchmarks/compare_artifacts.py --candidate DIR --update-baselines
 
 Artifacts only present on one side are reported but never fail the gate:
 baselines are committed at specific scales, and a quick local run at another
@@ -29,20 +43,25 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 from pathlib import Path
 from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 
-def load_wall_times(path: Path) -> Dict[str, float]:
-    """Map of timing cell -> wall seconds for one artifact (empty on error)."""
+def _load_payload(path: Path) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, ValueError):
         return {}
-    timings = payload.get("timings")
+    return payload if isinstance(payload, dict) else {}
+
+
+def load_wall_times(path: Path) -> Dict[str, float]:
+    """Map of timing cell -> wall seconds for one artifact (empty on error)."""
+    timings = _load_payload(path).get("timings")
     if not isinstance(timings, dict):
         return {}
     cells: Dict[str, float] = {}
@@ -53,21 +72,47 @@ def load_wall_times(path: Path) -> Dict[str, float]:
     return cells
 
 
+def load_calibration(path: Path) -> Optional[float]:
+    """The artifact's machine-speed stamp, or ``None`` when absent/invalid."""
+    value = _load_payload(path).get("calibration_wall_s")
+    if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0:
+        return float(value)
+    return None
+
+
 def compare_artifact(
-    baseline: Path, candidate: Path
+    baseline: Path, candidate: Path, calibrate: bool = False
 ) -> Tuple[Optional[float], List[str]]:
     """``(median ratio, per-cell lines)`` for one artifact pair.
 
     The ratio is ``None`` when the two files share no timed cell (schema
-    drift or a renamed cell set — reported, not silently skipped).
+    drift or a renamed cell set — reported, not silently skipped).  With
+    ``calibrate``, every cell ratio is divided by the candidate/baseline
+    machine-speed ratio so runner speed cancels; pairs missing a stamp on
+    either side fall back to raw ratios with a note.
     """
     base_cells = load_wall_times(baseline)
     cand_cells = load_wall_times(candidate)
     shared = sorted(set(base_cells) & set(cand_cells))
     lines = []
+    speed = 1.0
+    if calibrate:
+        base_calibration = load_calibration(baseline)
+        cand_calibration = load_calibration(candidate)
+        if base_calibration is not None and cand_calibration is not None:
+            speed = cand_calibration / base_calibration
+            lines.append(
+                f"    calibration: {base_calibration:.4f}s -> {cand_calibration:.4f}s"
+                f"  (runner speed x{speed:.2f}, ratios normalized)"
+            )
+        else:
+            side = "baseline" if base_calibration is None else "candidate"
+            lines.append(
+                f"    calibration: missing in {side} — raw (uncalibrated) ratios"
+            )
     ratios = []
     for cell in shared:
-        ratio = cand_cells[cell] / base_cells[cell]
+        ratio = cand_cells[cell] / base_cells[cell] / speed
         ratios.append(ratio)
         lines.append(
             f"    {cell}: {base_cells[cell]:.4f}s -> {cand_cells[cell]:.4f}s"
@@ -100,9 +145,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=float(os.environ.get("REPRO_BENCH_GATE_THRESHOLD", "0.30")),
         help="maximum tolerated fractional median slowdown (default 0.30)",
     )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="normalize cell ratios by the artifacts' calibration_wall_s "
+        "machine-speed stamps (cancels runner speed; enables a tighter threshold)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy every passing candidate artifact over its committed baseline",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0.0:
         parser.error(f"--threshold must be positive, got {args.threshold}")
+    if args.update_baselines and args.baseline.resolve() == args.candidate.resolve():
+        parser.error("--update-baselines needs distinct --baseline and --candidate dirs")
 
     baseline_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
     candidate_files = {p.name: p for p in sorted(args.candidate.glob("BENCH_*.json"))}
@@ -117,8 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     limit = 1.0 + args.threshold
     regressions = 0
+    passing: List[str] = []
     for name in shared_names:
-        ratio, lines = compare_artifact(baseline_files[name], candidate_files[name])
+        ratio, lines = compare_artifact(
+            baseline_files[name], candidate_files[name], calibrate=args.calibrate
+        )
         if ratio is None:
             regressions += 1
             verdict = "FAIL (no comparable timing cells)"
@@ -126,8 +187,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             regressions += 1
             verdict = f"FAIL (median x{ratio:.2f} > x{limit:.2f})"
         elif ratio < 1.0 / limit:
-            verdict = f"ok   (median x{ratio:.2f} — consider refreshing the baseline)"
+            passing.append(name)
+            verdict = (
+                f"ok   (median x{ratio:.2f} — consider refreshing the baseline: "
+                "rerun with --update-baselines)"
+            )
         else:
+            passing.append(name)
             verdict = f"ok   (median x{ratio:.2f})"
         print(f"{name}: {verdict}")
         for line in lines:
@@ -139,7 +205,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"{len(shared_names) - regressions}/{len(shared_names)} compared artifacts "
         f"within x{limit:.2f} of baseline"
+        + (" (calibrated)" if args.calibrate else "")
     )
+    if args.update_baselines:
+        for name in passing:
+            shutil.copyfile(candidate_files[name], baseline_files[name])
+            print(f"updated baseline {baseline_files[name]} <- {candidate_files[name]}")
+        skipped = len(shared_names) - len(passing)
+        if skipped:
+            print(f"left {skipped} regressing baseline(s) untouched")
+        print(f"refreshed {len(passing)}/{len(shared_names)} baselines")
     return 1 if regressions else 0
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import time
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
@@ -40,6 +41,76 @@ ARTIFACT_DIR = Path(
 #: Version of the artifact schema (checked by validate_artifacts.py).
 BENCH_SCHEMA_VERSION = 1
 
+#: Engine plumbing for the whole bench session: REPRO_BENCH_BACKEND selects
+#: the scheduler ("serial", "multiprocessing:workers=4", "work-queue:..."),
+#: REPRO_BENCH_CACHE the cell store ("sqlite:path=cells.sqlite" lets CI steps
+#: — or tomorrow's run — reuse today's finished cells).  Applied at import so
+#: every run_* call in every bench goes through the configured engine.
+if os.environ.get("REPRO_BENCH_BACKEND") or os.environ.get("REPRO_BENCH_CACHE"):
+    from repro.experiments.runner import configure_default_engine
+
+    configure_default_engine(
+        backend=os.environ.get("REPRO_BENCH_BACKEND") or None,
+        cache=os.environ.get("REPRO_BENCH_CACHE") or None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine-speed calibration
+# ---------------------------------------------------------------------------
+
+_CALIBRATION_WALL_S: Optional[float] = None
+
+
+def _measure_calibration(repeats: int = 3) -> float:
+    """Wall time of a fixed synthetic numpy kernel (machine-speed proxy).
+
+    Deliberately *not* built on repro's own kernels: optimising the repo must
+    never move the yardstick.  The kernel mixes the operations the benches
+    are dominated by (trig-heavy elementwise math, a sort, a reduction) on a
+    fixed-size, fixed-seed input; the *minimum* over a few repeats is the
+    least noisy location estimate.  ~100 ms per repeat, so stamping costs a
+    fraction of a second per session.
+
+    ``compare_artifacts.py --calibrate`` divides every candidate/baseline
+    cell ratio by the calibration ratio, which cancels machine speed and
+    lets one committed baseline serve heterogeneous CI runners at a tighter
+    threshold than raw wall times could.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(20260715)
+    lat = rng.uniform(-1.0, 1.0, 300_000)
+    lon = rng.uniform(-1.0, 1.0, 300_000)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        half = (
+            np.sin((lat - lon) * 0.5) ** 2
+            + np.cos(lat) * np.cos(lon) * np.sin(lon * 0.5) ** 2
+        )
+        arc = 2.0 * np.arcsin(np.sqrt(np.clip(half, 0.0, 1.0)))
+        order = np.argsort(arc, kind="stable")
+        checksum = float(np.cumsum(arc[order])[-1])
+        assert checksum > 0.0
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibration_wall_s() -> float:
+    """The session's calibration timing (measured once, cached).
+
+    ``REPRO_BENCH_CALIBRATION_S`` overrides the measurement — for tests, and
+    for reproducing a gate decision from a CI log.
+    """
+    global _CALIBRATION_WALL_S
+    if _CALIBRATION_WALL_S is None:
+        override = os.environ.get("REPRO_BENCH_CALIBRATION_S")
+        _CALIBRATION_WALL_S = (
+            float(override) if override else _measure_calibration()
+        )
+    return _CALIBRATION_WALL_S
+
 
 def write_bench_artifact(
     name: str,
@@ -62,6 +133,9 @@ def write_bench_artifact(
         "name": name,
         "scale": EVALUATION_SCALE,
         "python": platform.python_version(),
+        # Machine-speed stamp: lets the regression gate normalize this
+        # artifact's wall times against a baseline from a different runner.
+        "calibration_wall_s": calibration_wall_s(),
         "timings": {cell: dict(values) for cell, values in timings.items()},
         "rows": [dict(row) for row in rows],
     }

@@ -47,6 +47,14 @@ def validate_artifact(path: Path) -> list:
         if path.name != expected:
             errors.append(f"file name should be {expected!r}")
 
+    calibration = payload.get("calibration_wall_s")
+    if calibration is not None and (
+        not isinstance(calibration, (int, float))
+        or isinstance(calibration, bool)
+        or calibration <= 0
+    ):
+        errors.append("'calibration_wall_s', when present, must be a positive number")
+
     timings = payload.get("timings")
     if not isinstance(timings, dict) or not timings:
         errors.append("'timings' must be a non-empty object")

@@ -6,6 +6,21 @@ primary API; the ``run_*`` functions are the paper's seven experiments
 pre-packaged as specs.
 """
 
+from .backends import (
+    MultiprocessingBackend,
+    SchedulerBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    WorkQueueError,
+    make_backend,
+)
+from .cache import (
+    CellCacheStore,
+    InMemoryCellCache,
+    SqliteCellCache,
+    make_cache_store,
+    serialize_cell_key,
+)
 from .engine import EvalContext, EvaluationEngine, ExperimentSpec
 from .formatting import (
     format_percent,
@@ -48,6 +63,17 @@ __all__ = [
     "ExperimentSpec",
     "EvaluationEngine",
     "EvalContext",
+    "SchedulerBackend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "WorkQueueBackend",
+    "WorkQueueError",
+    "make_backend",
+    "CellCacheStore",
+    "InMemoryCellCache",
+    "SqliteCellCache",
+    "make_cache_store",
+    "serialize_cell_key",
     "WORLDS",
     "make_world",
     "register_world",

@@ -1,0 +1,138 @@
+"""Backend-equivalence and cache-persistence checks (the CI gate's teeth).
+
+``python -m repro.experiments.backend_check`` runs one small
+:class:`~repro.experiments.engine.ExperimentSpec` under every scheduler
+backend and asserts the rows are identical — including a killed-worker run
+where the work-queue backend must requeue the crashed worker's cell group
+onto a replacement and still produce the same rows::
+
+    python -m repro.experiments.backend_check equivalence --workers 2
+
+``cache`` mode runs the same spec against a persistent
+:class:`~repro.experiments.cache.SqliteCellCache` file and asserts the
+expected hit pattern, so CI can prove cold→warm persistence across *separate
+processes* (two invocations, one file)::
+
+    python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect cold
+    python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect warm
+
+Exit status is non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .backends import MultiprocessingBackend, SerialBackend, WorkQueueBackend
+from .engine import EvaluationEngine, ExperimentSpec
+
+
+def check_spec(scale: str = "tiny", seed: int = 5) -> ExperimentSpec:
+    """The small but non-trivial spec both checks run (12 cells, 6 groups)."""
+    return ExperimentSpec(
+        name="backend-check",
+        mechanisms=["identity", "downsampling:factor=5", "pseudonyms:seed=1"],
+        metrics=["point-retention", ("spatial-distortion", "area-coverage:cell_size_m=400.0")],
+        worlds=[f"standard:scale={scale},seed={seed}"],
+        seeds=[0, 1],
+    )
+
+
+def _rows_identical(reference, candidate, label: str) -> bool:
+    if candidate == reference:
+        print(f"ok   {label}: {len(candidate)} rows identical to serial")
+        return True
+    print(f"FAIL {label}: rows differ from serial")
+    for i, (ref, cand) in enumerate(zip(reference, candidate)):
+        if ref != cand:
+            print(f"  first differing row {i}:\n    serial:    {ref}\n    {label}: {cand}")
+            break
+    if len(reference) != len(candidate):
+        print(f"  row counts differ: serial {len(reference)} vs {label} {len(candidate)}")
+    return False
+
+
+def run_equivalence(scale: str, workers: int, timeout_s: float) -> int:
+    spec = check_spec(scale)
+    reference = EvaluationEngine(backend=SerialBackend(), cache=False).run(spec)
+    print(f"serial: {len(reference)} rows")
+    failures = 0
+
+    mp_rows = EvaluationEngine(
+        backend=MultiprocessingBackend(workers=workers), cache=False
+    ).run(spec)
+    failures += not _rows_identical(reference, mp_rows, "multiprocessing")
+
+    wq_backend = WorkQueueBackend(workers=workers, timeout_s=timeout_s)
+    wq_rows = EvaluationEngine(backend=wq_backend, cache=False).run(spec)
+    failures += not _rows_identical(reference, wq_rows, "work-queue")
+    print(f"     work-queue stats: {wq_backend.last_stats}")
+
+    crash_backend = WorkQueueBackend(
+        workers=workers, timeout_s=timeout_s, fault_injection="crash-once"
+    )
+    crash_rows = EvaluationEngine(backend=crash_backend, cache=False).run(spec)
+    failures += not _rows_identical(reference, crash_rows, "work-queue+crash")
+    stats = crash_backend.last_stats
+    print(f"     killed-worker stats: {stats}")
+    if stats.get("workers_crashed", 0) < 1 or stats.get("requeues", 0) < 1:
+        print("FAIL work-queue+crash: expected at least one crash and one requeue")
+        failures += 1
+
+    print(
+        f"{3 - min(failures, 3)}/3 backends produced identical rows"
+        + (" (with killed-worker requeue exercised)" if not failures else "")
+    )
+    return 1 if failures else 0
+
+
+def run_cache_check(scale: str, cache_file: str, expect: str) -> int:
+    spec = check_spec(scale)
+    engine = EvaluationEngine(cache=f"sqlite:path={cache_file}")
+    rows = engine.run(spec)
+    total = engine.cache_hits + engine.cache_misses
+    print(
+        f"{expect} run: {len(rows)} rows, {engine.cache_hits} hits / "
+        f"{engine.cache_misses} misses against {cache_file}"
+    )
+    if expect == "cold" and engine.cache_hits != 0:
+        print(f"FAIL: cold run expected 0 hits, got {engine.cache_hits}")
+        return 1
+    if expect == "warm" and (engine.cache_misses != 0 or engine.cache_hits != total):
+        print(
+            f"FAIL: warm run expected 100% hits, got {engine.cache_hits}/{total} "
+            f"({engine.cache_misses} misses) — the persistent cell cache missed"
+        )
+        return 1
+    print(f"ok   {expect} run matched the expected hit pattern")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="mode", required=True)
+
+    equivalence = subparsers.add_parser(
+        "equivalence", help="identical rows under serial/multiprocessing/work-queue"
+    )
+    equivalence.add_argument("--scale", default="tiny", help="workload scale (default tiny)")
+    equivalence.add_argument("--workers", type=int, default=2)
+    equivalence.add_argument("--timeout-s", type=float, default=300.0)
+
+    cache = subparsers.add_parser(
+        "cache", help="cold→warm persistence against one SqliteCellCache file"
+    )
+    cache.add_argument("--scale", default="tiny")
+    cache.add_argument("--cache-file", required=True)
+    cache.add_argument("--expect", choices=("cold", "warm"), required=True)
+
+    args = parser.parse_args(argv)
+    if args.mode == "equivalence":
+        return run_equivalence(args.scale, args.workers, args.timeout_s)
+    return run_cache_check(args.scale, args.cache_file, args.expect)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,495 @@
+"""Scheduler backends: *how* the evaluation engine executes cell groups.
+
+The :class:`~repro.experiments.engine.EvaluationEngine` reduces a spec to a
+list of picklable *group payloads* (one per (world, seed, mechanism) — see
+``engine._evaluate_group``) and hands them to a :class:`SchedulerBackend`:
+
+* :class:`SerialBackend` — evaluate in-process, in order.
+* :class:`MultiprocessingBackend` — the historical ``multiprocessing.Pool``
+  fan-out (fork where available).
+* :class:`WorkQueueBackend` — a spawn-safe work queue modelling many-host
+  fan-out: a TCP manager serves a task queue and a result queue, worker
+  *subprocesses* started via ``sys.executable -m repro.experiments.worker``
+  pull pickled payloads and push ``(task, rows)`` results.  A crashed worker
+  is detected, its claimed tasks are requeued once onto a replacement
+  worker, and a second crash on the same task surfaces as a structured
+  :class:`WorkQueueError`.  Per-worker cell counts are reported in
+  :attr:`WorkQueueBackend.last_stats`.
+
+All backends return results in payload order and execute the exact same
+``_evaluate_group`` code, so rows are bitwise-identical across backends (the
+backend-equivalence CI job and ``tests/test_backends.py`` pin this).
+
+Backends are selectable by spec string wherever the engine is constructed::
+
+    EvaluationEngine(backend="serial")
+    EvaluationEngine(backend="multiprocessing:workers=4")
+    EvaluationEngine(backend="work-queue:workers=4")
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import secrets
+import subprocess
+import sys
+import threading
+import time
+from multiprocessing.managers import BaseManager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SchedulerBackend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "WorkQueueBackend",
+    "WorkQueueError",
+    "make_backend",
+    "AUTHKEY_ENV",
+    "CRASH_ENV",
+]
+
+#: Environment variable carrying the work-queue authkey (hex) to workers.
+AUTHKEY_ENV = "REPRO_WORKQUEUE_AUTHKEY"
+
+#: Fault-injection hook: a worker started with this set exits hard
+#: (``os._exit``) on its first task — ``"claim"`` right *after* sending the
+#: claim message, ``"pre-claim"`` right after pulling the task but *before*
+#: claiming it (the lost-in-claim-window case).  How the CI equivalence job
+#: and the tests exercise the crash-recovery paths.
+CRASH_ENV = "REPRO_WORKQUEUE_CRASH_ON_CLAIM"
+
+GroupResult = List[Tuple[int, Dict[str, Any]]]
+
+
+def _evaluate(payload) -> GroupResult:
+    from .engine import _evaluate_group
+
+    return _evaluate_group(payload)
+
+
+class SchedulerBackend:
+    """Executes group payloads; returns one result list per payload, in order."""
+
+    name: str = "?"
+
+    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(SchedulerBackend):
+    """In-process, in-order evaluation (the ``workers=1`` path)."""
+
+    name = "serial"
+
+    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+        return [_evaluate(payload) for payload in payloads]
+
+
+class MultiprocessingBackend(SchedulerBackend):
+    """The historical ``multiprocessing.Pool`` fan-out.
+
+    Prefers ``fork`` (no re-import cost, inherits the loaded registries) and
+    falls back to the platform default where fork is unavailable.  A single
+    payload — or ``workers=1`` — short-circuits to in-process evaluation.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+
+    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [_evaluate(payload) for payload in payloads]
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with context.Pool(min(self.workers, len(payloads))) as pool:
+            return pool.map(_evaluate, payloads)
+
+    def __repr__(self) -> str:
+        return f"MultiprocessingBackend(workers={self.workers})"
+
+
+class WorkQueueError(RuntimeError):
+    """A work-queue run could not complete; carries structured failure info.
+
+    Attributes
+    ----------
+    failures:
+        One dict per undeliverable or failed task:
+        ``{"task": int, "attempts": int, "workers": [ranks], "reason": str}``.
+    """
+
+    def __init__(self, message: str, failures: List[Dict[str, Any]]) -> None:
+        super().__init__(message)
+        self.failures = failures
+
+
+def _make_queue_manager(task_queue, result_queue) -> BaseManager:
+    """A fresh manager class per run: serves the two queues over TCP.
+
+    The class is local so concurrent :class:`WorkQueueBackend` runs never
+    share a registry (``BaseManager.register`` mutates the *class*).
+    """
+
+    class _QueueManager(BaseManager):
+        pass
+
+    _QueueManager.register("get_task_queue", callable=lambda: task_queue)
+    _QueueManager.register("get_result_queue", callable=lambda: result_queue)
+    return _QueueManager
+
+
+class WorkQueueBackend(SchedulerBackend):
+    """A spawn-safe work queue over subprocess workers (many-host model).
+
+    The parent starts a :class:`multiprocessing.managers.BaseManager` server
+    (in a daemon thread) exposing a task queue and a result queue, enqueues
+    every payload *pickled*, and launches ``workers`` fresh interpreters via
+    ``sys.executable -m repro.experiments.worker --host H --port P``.  Workers
+    claim tasks (so the parent knows what a crashed worker was holding),
+    evaluate them and push results back.  Nothing is inherited from the
+    parent process — the same protocol would drive workers on other hosts.
+
+    Fault tolerance: when a worker process exits without completing its
+    claimed tasks, each such task is requeued at most ``max_requeues`` times
+    onto a replacement worker; beyond that the run fails with a
+    :class:`WorkQueueError` naming the task and the workers that died holding
+    it.  In-task Python exceptions are *not* retried (they are
+    deterministic); they re-raise in the parent with the worker traceback.
+
+    After a successful run :attr:`last_stats` holds
+    ``{"worker_cell_counts": {rank: n_cells}, "requeues": int, "workers_crashed": int}``.
+
+    A worker can also die *between* pulling a task and sending its claim —
+    then the task is in neither the queue nor the claim table.  Once every
+    unclaimed pending task has been missing from the queue for longer than
+    ``claim_grace_s`` (claims normally arrive within milliseconds), those
+    tasks are requeued under the same budget instead of hanging until the
+    timeout.
+
+    ``fault_injection`` is a test/CI hook: ``"crash-once"`` starts the
+    *initial* workers with :data:`CRASH_ENV` set (they die right after their
+    first claim; replacements are clean), ``"crash-always"`` poisons
+    replacements too, which exhausts the requeue budget deterministically,
+    and ``"crash-pre-claim"`` makes the initial workers die in the claim
+    window (task pulled, never claimed).
+    """
+
+    name = "work-queue"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_requeues: int = 1,
+        timeout_s: Optional[float] = 600.0,
+        poll_interval_s: float = 0.05,
+        claim_grace_s: float = 1.0,
+        fault_injection: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if fault_injection not in (None, "crash-once", "crash-always", "crash-pre-claim"):
+            raise ValueError(
+                f"unknown fault_injection {fault_injection!r}; choose None, "
+                "'crash-once', 'crash-always' or 'crash-pre-claim'"
+            )
+        self.workers = int(workers)
+        self.max_requeues = int(max_requeues)
+        self.timeout_s = timeout_s
+        self.poll_interval_s = float(poll_interval_s)
+        self.claim_grace_s = float(claim_grace_s)
+        self.fault_injection = fault_injection
+        self.last_stats: Dict[str, Any] = {}
+
+    # -- worker process management ------------------------------------------------
+
+    @staticmethod
+    def _worker_env(authkey_hex: str, crash: Optional[str]) -> Dict[str, str]:
+        env = dict(os.environ)
+        # The worker interpreter must resolve the same `repro` package as the
+        # parent regardless of how the parent found it (installed, src/ on
+        # PYTHONPATH, ...): prepend the package root explicitly.
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        parts = [package_root] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        env[AUTHKEY_ENV] = authkey_hex
+        if crash:
+            env[CRASH_ENV] = crash
+        else:
+            env.pop(CRASH_ENV, None)
+        return env
+
+    def _spawn_worker(
+        self, rank: int, host: str, port: int, authkey_hex: str, crash: Optional[str]
+    ) -> subprocess.Popen:
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.worker",
+                "--host",
+                host,
+                "--port",
+                str(port),
+                "--rank",
+                str(rank),
+            ],
+            env=self._worker_env(authkey_hex, crash),
+        )
+
+    # -- the run loop -------------------------------------------------------------
+
+    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+        if not payloads:
+            self.last_stats = {"worker_cell_counts": {}, "requeues": 0, "workers_crashed": 0}
+            return []
+
+        task_queue: "queue.Queue" = queue.Queue()
+        result_queue: "queue.Queue" = queue.Queue()
+        manager_class = _make_queue_manager(task_queue, result_queue)
+        authkey_hex = secrets.token_hex(16)
+        manager = manager_class(address=("127.0.0.1", 0), authkey=authkey_hex.encode("ascii"))
+        server = manager.get_server()
+
+        def _serve() -> None:
+            try:
+                server.serve_forever()
+            except SystemExit:
+                pass  # serve_forever sys.exit(0)s on stop_event; keep the thread quiet
+
+        server_thread = threading.Thread(target=_serve, daemon=True)
+        server_thread.start()
+        host, port = server.address
+
+        blobs = [pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL) for payload in payloads]
+        for task_id, blob in enumerate(blobs):
+            task_queue.put((task_id, blob))
+
+        crash_initial: Optional[str] = {
+            "crash-once": "claim",
+            "crash-always": "claim",
+            "crash-pre-claim": "pre-claim",
+        }.get(self.fault_injection or "")
+        crash_respawn: Optional[str] = (
+            "claim" if self.fault_injection == "crash-always" else None
+        )
+        procs: Dict[int, subprocess.Popen] = {}
+        next_rank = 0
+        for _ in range(min(self.workers, len(blobs))):
+            procs[next_rank] = self._spawn_worker(next_rank, host, port, authkey_hex, crash_initial)
+            next_rank += 1
+
+        results: List[Optional[GroupResult]] = [None] * len(blobs)
+        pending = set(range(len(blobs)))
+        claims: Dict[int, int] = {}  # task_id -> rank currently holding it
+        attempts: Dict[int, int] = {task_id: 0 for task_id in pending}
+        task_ranks: Dict[int, List[int]] = {task_id: [] for task_id in pending}
+        worker_cells: Dict[int, int] = {}
+        requeues = 0
+        crashed = 0
+        failures: List[Dict[str, Any]] = []
+        worker_error: Optional[Tuple[int, int, str]] = None
+        deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
+        lost_since: Optional[float] = None
+
+        try:
+            while pending and worker_error is None:
+                try:
+                    message = result_queue.get(timeout=self.poll_interval_s)
+                except queue.Empty:
+                    message = None
+                if message is not None:
+                    kind = message[0]
+                    if kind == "claim":
+                        _, task_id, rank = message
+                        attempts[task_id] += 1
+                        claims[task_id] = rank
+                        task_ranks[task_id].append(rank)
+                    elif kind == "done":
+                        _, task_id, rank, rows = message
+                        if task_id in pending:
+                            pending.discard(task_id)
+                            results[task_id] = rows
+                            worker_cells[rank] = worker_cells.get(rank, 0) + len(rows)
+                        claims.pop(task_id, None)
+                    elif kind == "error":
+                        _, task_id, rank, traceback_text = message
+                        worker_error = (task_id, rank, traceback_text)
+                    continue  # drain eagerly before liveness checks
+
+                # No message: check worker liveness and the deadline.
+                for rank, proc in list(procs.items()):
+                    if proc.poll() is None:
+                        continue
+                    del procs[rank]
+                    crashed += 1
+                    held = [t for t, r in claims.items() if r == rank and t in pending]
+                    for task_id in held:
+                        claims.pop(task_id, None)
+                        if attempts[task_id] <= self.max_requeues:
+                            task_queue.put((task_id, blobs[task_id]))
+                            requeues += 1
+                        else:
+                            pending.discard(task_id)
+                            failures.append(
+                                {
+                                    "task": task_id,
+                                    "attempts": attempts[task_id],
+                                    "workers": list(task_ranks[task_id]),
+                                    "reason": (
+                                        f"worker crashed (exit {proc.returncode}) on "
+                                        f"attempt {attempts[task_id]}; requeue budget "
+                                        f"({self.max_requeues}) exhausted"
+                                    ),
+                                }
+                            )
+                    if pending and not failures:
+                        procs[next_rank] = self._spawn_worker(
+                            next_rank, host, port, authkey_hex, crash_respawn
+                        )
+                        next_rank += 1
+                # Tasks lost in the claim window: a worker pulled a task and
+                # died before sending its claim, so the task is in neither
+                # the queue nor the claim table.  Claims normally arrive
+                # within milliseconds; once unclaimed pending tasks have been
+                # missing from an *empty* queue for the full grace period,
+                # requeue them under the same budget (a loss counts as an
+                # attempt, keeping repeated losses bounded).
+                missing = [t for t in sorted(pending) if t not in claims]
+                if missing and task_queue.qsize() == 0:
+                    if lost_since is None:
+                        lost_since = time.monotonic()
+                    elif time.monotonic() - lost_since >= self.claim_grace_s:
+                        lost_since = None
+                        for task_id in missing:
+                            attempts[task_id] += 1
+                            if attempts[task_id] <= self.max_requeues:
+                                task_queue.put((task_id, blobs[task_id]))
+                                requeues += 1
+                            else:
+                                pending.discard(task_id)
+                                failures.append(
+                                    {
+                                        "task": task_id,
+                                        "attempts": attempts[task_id],
+                                        "workers": list(task_ranks[task_id]),
+                                        "reason": (
+                                            "task lost before claim; requeue "
+                                            f"budget ({self.max_requeues}) exhausted"
+                                        ),
+                                    }
+                                )
+                else:
+                    lost_since = None
+                if pending and not procs and not failures:
+                    procs[next_rank] = self._spawn_worker(
+                        next_rank, host, port, authkey_hex, crash_respawn
+                    )
+                    next_rank += 1
+                if failures:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise WorkQueueError(
+                        f"work queue timed out after {self.timeout_s}s with "
+                        f"{len(pending)} of {len(blobs)} tasks unfinished",
+                        [
+                            {
+                                "task": task_id,
+                                "attempts": attempts[task_id],
+                                "workers": list(task_ranks[task_id]),
+                                "reason": "timeout",
+                            }
+                            for task_id in sorted(pending)
+                        ],
+                    )
+        finally:
+            self._shutdown(procs, task_queue, server)
+
+        if worker_error is not None:
+            task_id, rank, traceback_text = worker_error
+            raise RuntimeError(
+                f"cell group {task_id} raised in work-queue worker {rank}:\n{traceback_text}"
+            )
+        if failures:
+            detail = "; ".join(
+                f"task {f['task']} after {f['attempts']} attempts "
+                f"(workers {f['workers']})" for f in failures
+            )
+            raise WorkQueueError(f"work queue gave up on {len(failures)} task(s): {detail}", failures)
+
+        self.last_stats = {
+            "worker_cell_counts": dict(sorted(worker_cells.items())),
+            "requeues": requeues,
+            "workers_crashed": crashed,
+        }
+        return [result for result in results if result is not None]
+
+    def _shutdown(self, procs, task_queue, server) -> None:
+        for _ in range(len(procs) + 1):
+            task_queue.put(None)  # sentinel: workers exit their loop
+        deadline = time.monotonic() + 5.0
+        for proc in procs.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        try:
+            server.stop_event.set()
+            server.listener.close()
+        except Exception:
+            pass  # best-effort: the server thread is a daemon either way
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkQueueBackend(workers={self.workers}, max_requeues={self.max_requeues})"
+        )
+
+
+def make_backend(backend: Any, default_workers: int = 1) -> SchedulerBackend:
+    """Resolve the engine's ``backend`` argument to a backend instance.
+
+    ``None`` keeps the historical behaviour: serial for ``workers=1``, a
+    multiprocessing pool otherwise.  Strings are specs — ``"serial"``,
+    ``"multiprocessing:workers=4"`` (alias ``"mp"``), or
+    ``"work-queue:workers=4"`` (alias ``"workqueue"``); a spec without
+    ``workers`` inherits ``default_workers`` (floored at 2 for the parallel
+    backends, which otherwise degenerate to serial).
+    """
+    if isinstance(backend, SchedulerBackend):
+        return backend
+    if backend is None:
+        if default_workers > 1:
+            return MultiprocessingBackend(workers=default_workers)
+        return SerialBackend()
+    if isinstance(backend, str):
+        from ..api.registry import RegistryError, parse_spec
+
+        name, params = parse_spec(backend)
+        name = name.lower()
+        if name == "serial":
+            return SerialBackend()
+        workers = int(params.pop("workers", max(default_workers, 2)))
+        if name in ("multiprocessing", "mp", "pool"):
+            return MultiprocessingBackend(workers=workers)
+        if name in ("work-queue", "workqueue", "queue"):
+            return WorkQueueBackend(workers=workers, **params)
+        raise RegistryError(
+            f"unknown scheduler backend {backend!r}; choose 'serial', "
+            "'multiprocessing[:workers=N]' or 'work-queue[:workers=N]'"
+        )
+    raise TypeError(
+        f"backend must be a SchedulerBackend, spec string or None, "
+        f"got {type(backend).__name__}"
+    )

@@ -35,7 +35,6 @@ is how one row can merge several components that would otherwise collide.
 
 from __future__ import annotations
 
-import multiprocessing
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -50,6 +49,8 @@ from ..api.registry import (
 )
 from ..api.result import PublicationResult
 from ..core.trajectory import MobilityDataset
+from .backends import SchedulerBackend, make_backend
+from .cache import CellCacheStore, make_cache_store
 from .workloads import split_train_publish
 
 # World resolution lives in the registry module; re-exported here because the
@@ -293,21 +294,39 @@ class EvaluationEngine:
     workers:
         Number of processes.  ``1`` (default) evaluates in-process;
         ``workers > 1`` fans (world, seed, mechanism) groups out over a
-        :mod:`multiprocessing` pool.  Exceptions propagate either way.
+        :mod:`multiprocessing` pool (unless ``backend`` overrides the
+        scheduler).  Exceptions propagate either way.
     cache:
-        Keep finished cells across :meth:`run` calls.  Cells are keyed by
-        (experiment input, world fingerprint, seed, mechanism spec, attack
-        spec, metric group), so re-running a spec — or a spec sharing cells
-        with an earlier one — only computes what is new.  Cells whose
-        mechanism is a live object are never cached.
+        Where finished cells live across :meth:`run` calls: ``True`` (an
+        in-memory store, the default), ``False`` (off), a spec string
+        (``"sqlite:path=cells.sqlite"`` persists cells across processes and
+        CI steps), or a :class:`~repro.experiments.cache.CellCacheStore`.
+        Cells are keyed by (experiment input, world fingerprint, seed,
+        mechanism spec, attack spec, metric group), so re-running a spec —
+        or a spec sharing cells with an earlier one — only computes what is
+        new.  Cells whose mechanism is a live object are never cached.
+    backend:
+        *How* uncached cell groups execute: ``None`` (serial for
+        ``workers=1``, a multiprocessing pool otherwise), a spec string
+        (``"serial"``, ``"multiprocessing:workers=4"``,
+        ``"work-queue:workers=4"``), or a
+        :class:`~repro.experiments.backends.SchedulerBackend`.  Rows come
+        back bitwise-identical in deterministic cross-product order
+        regardless of backend.
     """
 
-    def __init__(self, workers: int = 1, cache: bool = True) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[bool, str, CellCacheStore] = True,
+        backend: Union[None, str, SchedulerBackend] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
-        self.cache_enabled = cache
-        self._row_cache: Dict[Tuple, Dict[str, Any]] = {}
+        self.backend = make_backend(backend, default_workers=workers)
+        self.cache_store = make_cache_store(cache)
+        self.cache_enabled = self.cache_store.enabled
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -375,10 +394,12 @@ class EvaluationEngine:
         for cell in cells:
             world = world_objects[cell["world_label"]]
             key = self._cell_key(spec, fingerprints[cell["world_label"]], cell)
-            if key is not None and key in self._row_cache:
-                rows[cell["index"]] = dict(self._row_cache[key])
-                self.cache_hits += 1
-                continue
+            if key is not None:
+                cached = self.cache_store.get(key)
+                if cached is not None:
+                    rows[cell["index"]] = cached
+                    self.cache_hits += 1
+                    continue
             self.cache_misses += 1
             pending_keys[cell["index"]] = key
             group_key = (cell["world_label"], cell["seed"], cell["mech_index"])
@@ -416,6 +437,8 @@ class EvaluationEngine:
         ]
 
         if payloads:
+            # Cells whose mechanism or attack is a live object cannot cross a
+            # process boundary: they run inline regardless of the backend.
             parallel: List[Tuple] = []
             inline: List[Tuple] = []
             for payload in payloads:
@@ -425,27 +448,19 @@ class EvaluationEngine:
                     for _, _, attack_item, _ in payload[6]
                 )
                 (parallel if mech_ok and attacks_ok else inline).append(payload)
-            if self.workers > 1 and len(parallel) > 1:
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
-                with context.Pool(min(self.workers, len(parallel))) as pool:
-                    results = pool.map(_evaluate_group, parallel)
-                results.extend(_evaluate_group(p) for p in inline)
-            else:
-                results = [_evaluate_group(p) for p in payloads]
+            results = list(self.backend.map_groups(parallel)) if parallel else []
+            results.extend(_evaluate_group(p) for p in inline)
             for group_rows in results:
                 for index, row in group_rows:
                     rows[index] = row
                     key = pending_keys.get(index)
                     if key is not None:
-                        self._row_cache[key] = dict(row)
+                        self.cache_store.put(key, row)
 
         return [row for row in rows if row is not None]
 
     def clear_cache(self) -> None:
         """Drop all cached cells (and reset the hit/miss counters)."""
-        self._row_cache.clear()
+        self.cache_store.clear()
         self.cache_hits = 0
         self.cache_misses = 0

@@ -20,8 +20,9 @@ mechanism objects.
 from __future__ import annotations
 
 import math
+import os
 import warnings
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api.evaluators import ground_truth_pois
 from ..api.registry import make_mechanism
@@ -34,6 +35,8 @@ __all__ = [
     "DEFAULT_MECHANISM_SPECS",
     "DEFAULT_SEED_SWEEP",
     "seed_sweep",
+    "configure_default_engine",
+    "default_engine",
     "default_mechanisms",
     "ground_truth_pois",
     "run_poi_retrieval",
@@ -104,9 +107,86 @@ def default_mechanisms(seed: int = 0) -> Dict[str, PublicationMechanism]:
     }
 
 
+def _engine_from_env() -> EvaluationEngine:
+    """The shared engine, honouring the ``REPRO_ENGINE_*`` environment knobs.
+
+    ``REPRO_ENGINE_BACKEND`` selects the scheduler (``serial``,
+    ``multiprocessing:workers=4``, ``work-queue:workers=4``),
+    ``REPRO_ENGINE_CACHE`` the cell store (``memory``, ``off``,
+    ``sqlite:path=cells.sqlite``) and ``REPRO_ENGINE_WORKERS`` the default
+    worker count — so a benchmark suite or CI step can re-route every
+    ``run_*`` experiment without touching call sites.
+    """
+    return EvaluationEngine(
+        workers=max(int(os.environ.get("REPRO_ENGINE_WORKERS", "1") or 1), 1),
+        cache=os.environ.get("REPRO_ENGINE_CACHE") or True,
+        backend=os.environ.get("REPRO_ENGINE_BACKEND") or None,
+    )
+
+
 #: Shared engine: per-cell caching makes repeated runner calls on the same
 #: world (e.g. a benchmark re-run) incremental.
-_ENGINE = EvaluationEngine(workers=1, cache=True)
+_ENGINE = _engine_from_env()
+
+
+def configure_default_engine(
+    backend: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    workers: Optional[int] = None,
+) -> EvaluationEngine:
+    """Rebuild the engine shared by every ``run_*`` entry point.
+
+    ``backend``/``cache`` accept everything
+    :class:`~repro.experiments.engine.EvaluationEngine` accepts (spec strings,
+    instances); ``None`` keeps the defaults.  Returns the new engine, e.g. to
+    inspect ``cache_hits`` after a sweep.
+    """
+    global _ENGINE
+    _ENGINE = EvaluationEngine(
+        workers=workers if workers is not None else 1,
+        cache=cache if cache is not None else True,
+        backend=backend,
+    )
+    return _ENGINE
+
+
+def default_engine() -> EvaluationEngine:
+    """The engine currently shared by the ``run_*`` entry points."""
+    return _ENGINE
+
+
+#: Engines built for explicit (scheduler, cell_cache) selections, memoized so
+#: repeated runner calls (a benchmark loop) keep their per-cell caches.
+_CUSTOM_ENGINES: Dict[Tuple, EvaluationEngine] = {}
+
+
+def _resolve_engine(scheduler: Optional[Any], cell_cache: Optional[Any]) -> EvaluationEngine:
+    """The engine a ``run_*`` call should use.
+
+    With neither ``scheduler`` nor ``cell_cache`` given, the shared default
+    engine; hashable selections (spec strings, bools) are memoized so
+    repeated calls reuse one engine and its cache; live backend/store objects
+    get a fresh engine per call (the caller owns their lifecycle).
+    """
+    if scheduler is None and cell_cache is None:
+        return _ENGINE
+    key = (
+        scheduler if isinstance(scheduler, (str, type(None))) else None,
+        cell_cache if isinstance(cell_cache, (str, bool, type(None))) else None,
+    )
+    hashable = (scheduler is None or isinstance(scheduler, str)) and (
+        cell_cache is None or isinstance(cell_cache, (str, bool))
+    )
+    if hashable and key in _CUSTOM_ENGINES:
+        return _CUSTOM_ENGINES[key]
+    engine = EvaluationEngine(
+        cache=cell_cache if cell_cache is not None else True,
+        backend=scheduler,
+    )
+    if hashable:
+        _CUSTOM_ENGINES[key] = engine
+    return engine
+
 
 MechanismMap = Mapping[str, Union[str, PublicationMechanism]]
 
@@ -151,6 +231,8 @@ def run_poi_retrieval(
     adaptive_attacker: bool = True,
     seeds: Sequence[int] = (0,),
     engine: str = "vectorized",
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E1: POI retrieval precision / recall / F-score per mechanism.
 
@@ -182,7 +264,7 @@ def run_poi_retrieval(
         worlds=["world"],
         seeds=tuple(seeds),
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         _with_seed_column(
@@ -209,6 +291,8 @@ def run_spatial_distortion(
     world: SyntheticWorld,
     mechanisms: Optional[MechanismMap] = None,
     seeds: Sequence[int] = (0,),
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E2: spatial distortion and point retention per mechanism.
 
@@ -229,7 +313,7 @@ def run_spatial_distortion(
         worlds=["world"],
         seeds=tuple(seeds),
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         _with_seed_column(
@@ -256,6 +340,8 @@ def run_area_coverage(
     world: SyntheticWorld,
     mechanisms: Optional[MechanismMap] = None,
     cell_sizes_m: Sequence[float] = (100.0, 200.0, 400.0, 800.0),
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E3: cell-cover F-score per mechanism and cell size."""
     spec = ExperimentSpec(
@@ -264,7 +350,7 @@ def run_area_coverage(
         metrics=[f"area-coverage:cell_size_m={float(size)!r}" for size in cell_sizes_m],
         worlds=["world"],
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         [
@@ -288,6 +374,8 @@ def run_reidentification(
     match_distance_m: float = 250.0,
     seed: int = 0,
     engine: str = "vectorized",
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E4: re-identification rate with and without swapping.
 
@@ -324,7 +412,7 @@ def run_reidentification(
         worlds=["world"],
         input=f"publish-half:train_fraction={train_fraction!r}",
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         [
@@ -349,6 +437,8 @@ def run_tracking(
     policy: SwapPolicy = SwapPolicy.ALWAYS,
     seed: int = 0,
     engine: str = "vectorized",
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E5: multi-target tracking success versus mix-zone radius.
 
@@ -369,7 +459,7 @@ def run_tracking(
         metrics=[("swap-stats", "mixing-entropy")],
         worlds=["world"],
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return [
         {
             "zone_radius_m": radius,
@@ -387,6 +477,8 @@ def run_tracking(
 def run_mixzone_stats(
     world: SyntheticWorld,
     zone_radii_m: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E8: how many natural mix-zones exist at each radius."""
     spec = ExperimentSpec(
@@ -398,7 +490,7 @@ def run_mixzone_stats(
         ],
         worlds=["world"],
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         [
@@ -420,6 +512,8 @@ def run_tradeoff_frontier(
     world: SyntheticWorld,
     match_distance_m: float = 250.0,
     seed: int = 0,
+    scheduler: Optional[Any] = None,
+    cell_cache: Optional[Any] = None,
 ) -> List[Dict[str, object]]:
     """Experiment E6: (POI F-score, median distortion) per mechanism and parameter.
 
@@ -465,7 +559,7 @@ def run_tradeoff_frontier(
         ],
         worlds=["world"],
     )
-    rows = _ENGINE.run(spec, worlds={"world": world})
+    rows = _resolve_engine(scheduler, cell_cache).run(spec, worlds={"world": world})
     return _project(
         rows,
         [

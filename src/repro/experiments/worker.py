@@ -1,0 +1,85 @@
+"""Work-queue worker: ``python -m repro.experiments.worker --host H --port P``.
+
+One worker process of a :class:`~repro.experiments.backends.WorkQueueBackend`
+run.  The worker connects to the parent's queue manager over TCP (the authkey
+arrives via the :data:`~repro.experiments.backends.AUTHKEY_ENV` environment
+variable, never on the command line), then loops:
+
+1. pull ``(task_id, pickled_payload)`` from the task queue (``None`` is the
+   shutdown sentinel),
+2. push ``("claim", task_id, rank)`` so the parent can requeue the task if
+   this process dies mid-evaluation,
+3. unpickle the payload, evaluate it with the engine's ``_evaluate_group``
+   (the exact code every other backend runs), and
+4. push ``("done", task_id, rank, rows)`` — or ``("error", task_id, rank,
+   traceback)`` for an in-task exception, which the parent re-raises.
+
+Because the worker is a fresh interpreter reached only through a TCP address
+and an authkey, the same protocol works under the ``spawn`` start method and
+would drive workers on other hosts unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import traceback
+from multiprocessing.managers import BaseManager
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", required=True, help="queue manager host")
+    parser.add_argument("--port", required=True, type=int, help="queue manager port")
+    parser.add_argument("--rank", required=True, type=int, help="worker rank (for reporting)")
+    args = parser.parse_args(argv)
+
+    from .backends import AUTHKEY_ENV, CRASH_ENV
+
+    authkey_hex = os.environ.get(AUTHKEY_ENV, "")
+    if not authkey_hex:
+        print(f"worker {args.rank}: {AUTHKEY_ENV} not set", file=sys.stderr)
+        return 2
+    crash_mode = os.environ.get(CRASH_ENV)  # "claim", "pre-claim" or unset
+
+    class _QueueManager(BaseManager):
+        pass
+
+    _QueueManager.register("get_task_queue")
+    _QueueManager.register("get_result_queue")
+    manager = _QueueManager(
+        address=(args.host, args.port), authkey=authkey_hex.encode("ascii")
+    )
+    manager.connect()
+    tasks = manager.get_task_queue()
+    results = manager.get_result_queue()
+
+    from .engine import _evaluate_group
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            return 0
+        task_id, blob = task
+        if crash_mode == "pre-claim":
+            # Fault injection: die inside the claim window — the task is out
+            # of the queue but the parent has no claim record for it.
+            os._exit(18)
+        results.put(("claim", task_id, args.rank))
+        if crash_mode == "claim":
+            # Fault injection: die the way a killed host would — no cleanup,
+            # no exception message, a bare non-zero exit.
+            os._exit(17)
+        try:
+            rows = _evaluate_group(pickle.loads(blob))
+        except BaseException:
+            results.put(("error", task_id, args.rank, traceback.format_exc()))
+            return 1
+        results.put(("done", task_id, args.rank, rows))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

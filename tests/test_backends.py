@@ -1,0 +1,142 @@
+"""Scheduler backends: bitwise row equivalence, crash recovery, spec parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.backends import (
+    MultiprocessingBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    WorkQueueError,
+    make_backend,
+)
+from repro.experiments.engine import EvaluationEngine, ExperimentSpec
+from repro.experiments.workloads import standard_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return standard_world("tiny", seed=5)
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="backend-test",
+        mechanisms=["identity", "downsampling:factor=5", "pseudonyms:seed=1"],
+        metrics=["point-retention", ("spatial-distortion", "area-coverage:cell_size_m=400.0")],
+        worlds=["world"],
+        seeds=[0, 1],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_rows(world):
+    return EvaluationEngine(backend=SerialBackend(), cache=False).run(
+        _spec(), worlds={"world": world}
+    )
+
+
+class TestBackendEquivalence:
+    def test_multiprocessing_matches_serial(self, world, serial_rows):
+        rows = EvaluationEngine(backend=MultiprocessingBackend(workers=2), cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+
+    def test_work_queue_matches_serial(self, world, serial_rows):
+        backend = WorkQueueBackend(workers=2, timeout_s=300.0)
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        counts = backend.last_stats["worker_cell_counts"]
+        assert sum(counts.values()) == len(serial_rows)
+        assert backend.last_stats["requeues"] == 0
+
+    def test_workers_kwarg_still_selects_multiprocessing(self):
+        engine = EvaluationEngine(workers=3)
+        assert isinstance(engine.backend, MultiprocessingBackend)
+        assert engine.backend.workers == 3
+        assert isinstance(EvaluationEngine().backend, SerialBackend)
+
+
+class TestWorkQueueFaults:
+    def test_killed_worker_is_requeued_once(self, world, serial_rows):
+        backend = WorkQueueBackend(workers=1, timeout_s=300.0, fault_injection="crash-once")
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        assert backend.last_stats["workers_crashed"] >= 1
+        assert backend.last_stats["requeues"] >= 1
+
+    def test_task_lost_in_claim_window_is_recovered(self, world, serial_rows):
+        """A worker dying after queue.get() but before its claim message must
+        not hang the run: the lost task is detected after the claim grace
+        period and requeued within the same budget."""
+        backend = WorkQueueBackend(
+            workers=1,
+            timeout_s=300.0,
+            claim_grace_s=0.2,
+            fault_injection="crash-pre-claim",
+        )
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        assert backend.last_stats["workers_crashed"] >= 1
+        assert backend.last_stats["requeues"] >= 1
+
+    def test_exhausted_requeues_surface_structured_failure(self, world):
+        backend = WorkQueueBackend(workers=1, timeout_s=300.0, fault_injection="crash-always")
+        with pytest.raises(WorkQueueError) as excinfo:
+            EvaluationEngine(backend=backend, cache=False).run(
+                _spec(), worlds={"world": world}
+            )
+        failures = excinfo.value.failures
+        assert failures, "the error must carry structured per-task failures"
+        assert failures[0]["attempts"] == 2  # first claim + one requeue
+        assert len(failures[0]["workers"]) == 2
+        assert "exhausted" in failures[0]["reason"]
+
+    def test_worker_exception_propagates_with_traceback(self, world):
+        spec = ExperimentSpec(
+            name="bad-metric",
+            mechanisms=["identity"],
+            # area-coverage with a non-positive cell size raises inside the worker.
+            metrics=["area-coverage:cell_size_m=-1.0"],
+            worlds=["world"],
+        )
+        backend = WorkQueueBackend(workers=1, timeout_s=300.0)
+        with pytest.raises(RuntimeError, match="work-queue worker"):
+            EvaluationEngine(backend=backend, cache=False).run(spec, worlds={"world": world})
+
+
+class TestMakeBackend:
+    def test_spec_strings(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        mp = make_backend("multiprocessing:workers=4")
+        assert isinstance(mp, MultiprocessingBackend) and mp.workers == 4
+        wq = make_backend("work-queue:workers=3,max_requeues=2")
+        assert isinstance(wq, WorkQueueBackend)
+        assert wq.workers == 3 and wq.max_requeues == 2
+
+    def test_default_workers_inherited(self):
+        assert make_backend(None, default_workers=1).name == "serial"
+        assert make_backend(None, default_workers=4).workers == 4
+        assert make_backend("mp", default_workers=5).workers == 5
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler backend"):
+            make_backend("carrier-pigeon")
+        with pytest.raises(TypeError):
+            make_backend(42)
+
+    def test_invalid_fault_injection_rejected(self):
+        with pytest.raises(ValueError, match="fault_injection"):
+            WorkQueueBackend(fault_injection="typo")

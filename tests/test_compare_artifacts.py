@@ -22,7 +22,9 @@ import compare_artifacts  # noqa: E402
 COMMITTED = REPO_ROOT / "benchmarks" / "artifacts"
 
 
-def _write_artifact(directory: Path, name: str, scale: str, cells: dict) -> Path:
+def _write_artifact(
+    directory: Path, name: str, scale: str, cells: dict, calibration: float = None
+) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.{scale}.json"
     payload = {
@@ -33,6 +35,8 @@ def _write_artifact(directory: Path, name: str, scale: str, cells: dict) -> Path
         "timings": {cell: {"wall_s": wall} for cell, wall in cells.items()},
         "rows": [],
     }
+    if calibration is not None:
+        payload["calibration_wall_s"] = calibration
     path.write_text(json.dumps(payload))
     return path
 
@@ -120,12 +124,112 @@ class TestGateEdgeCases:
         ) == 0
 
 
+class TestCalibration:
+    """--calibrate cancels machine speed via the calibration_wall_s stamps."""
+
+    def test_slower_runner_passes_when_calibrated(self, tmp_path):
+        # Candidate runner is 2x slower (calibration 0.1 -> 0.2); every cell
+        # is 2x the baseline wall time.  Raw: FAIL; calibrated: x1.00 ok.
+        baseline = tmp_path / "baseline"
+        _write_artifact(baseline, "hot", "small", {"detect": 1.0, "extract": 2.0}, 0.1)
+        candidate = tmp_path / "candidate"
+        _write_artifact(candidate, "hot", "small", {"detect": 2.0, "extract": 4.0}, 0.2)
+        args = ["--baseline", str(baseline), "--candidate", str(candidate)]
+        assert compare_artifacts.main(args) != 0
+        assert compare_artifacts.main(args + ["--calibrate"]) == 0
+        # The tightened CI threshold also holds once speed is cancelled.
+        assert compare_artifacts.main(args + ["--calibrate", "--threshold", "0.20"]) == 0
+
+    def test_true_regression_fails_even_calibrated(self, tmp_path):
+        # Same machine speed, genuinely 1.5x slower cells: calibration must
+        # not excuse it.
+        baseline = tmp_path / "baseline"
+        _write_artifact(baseline, "hot", "small", {"detect": 1.0, "extract": 2.0}, 0.1)
+        candidate = tmp_path / "candidate"
+        _write_artifact(candidate, "hot", "small", {"detect": 1.5, "extract": 3.0}, 0.1)
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate), "--calibrate"]
+        ) != 0
+
+    def test_fast_runner_cannot_hide_regression(self, tmp_path):
+        # Candidate runner is 2x faster, so raw wall times look flat — but
+        # normalized they are a 2x regression.
+        baseline = tmp_path / "baseline"
+        _write_artifact(baseline, "hot", "small", {"detect": 1.0, "extract": 2.0}, 0.2)
+        candidate = tmp_path / "candidate"
+        _write_artifact(candidate, "hot", "small", {"detect": 1.0, "extract": 2.0}, 0.1)
+        args = ["--baseline", str(baseline), "--candidate", str(candidate)]
+        assert compare_artifacts.main(args) == 0
+        assert compare_artifacts.main(args + ["--calibrate"]) != 0
+
+    def test_missing_calibration_falls_back_to_raw(self, tmp_path, baseline_dir, capsys):
+        # baseline_dir artifacts carry no stamp: --calibrate must not crash
+        # nor change the verdict, and must say why.
+        candidate = _candidate(tmp_path, {"detect": 1.0, "publish": 0.5, "extract": 2.0})
+        assert compare_artifacts.main(
+            ["--baseline", str(baseline_dir), "--candidate", str(candidate), "--calibrate"]
+        ) == 0
+        assert "missing" in capsys.readouterr().out
+
+
+class TestUpdateBaselines:
+    def test_passing_candidates_replace_baselines(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 0.5, "publish": 0.25, "extract": 1.0})
+        assert compare_artifacts.main(
+            [
+                "--baseline", str(baseline_dir),
+                "--candidate", str(candidate),
+                "--update-baselines",
+            ]
+        ) == 0
+        refreshed = json.loads((baseline_dir / "BENCH_hot.small.json").read_text())
+        assert refreshed["timings"]["detect"]["wall_s"] == 0.5
+
+    def test_regressing_candidates_leave_baselines_untouched(self, tmp_path, baseline_dir):
+        candidate = _candidate(tmp_path, {"detect": 9.0, "publish": 9.0, "extract": 9.0})
+        assert compare_artifacts.main(
+            [
+                "--baseline", str(baseline_dir),
+                "--candidate", str(candidate),
+                "--update-baselines",
+            ]
+        ) != 0
+        untouched = json.loads((baseline_dir / "BENCH_hot.small.json").read_text())
+        assert untouched["timings"]["detect"]["wall_s"] == 1.0
+
+    def test_same_directory_rejected(self, baseline_dir):
+        with pytest.raises(SystemExit):
+            compare_artifacts.main(
+                [
+                    "--baseline", str(baseline_dir),
+                    "--candidate", str(baseline_dir),
+                    "--update-baselines",
+                ]
+            )
+
+
 class TestCommittedBaselines:
     def test_committed_baselines_pass_against_themselves(self):
         """The exact comparison CI bootstraps from must hold on the checkout."""
         assert sorted(COMMITTED.glob("BENCH_*.json")), "no committed artifacts"
         assert compare_artifacts.main(
             ["--baseline", str(COMMITTED), "--candidate", str(COMMITTED)]
+        ) == 0
+
+    def test_committed_baselines_carry_calibration_and_pass_calibrated_gate(self):
+        """The exact CI gate invocation: every committed baseline must carry
+        a machine-speed stamp and self-compare clean at the 0.20 threshold."""
+        for path in COMMITTED.glob("BENCH_*.json"):
+            assert compare_artifacts.load_calibration(path) is not None, (
+                f"{path.name} lacks calibration_wall_s; regenerate it with the "
+                "bench suite and refresh via --update-baselines"
+            )
+        assert compare_artifacts.main(
+            [
+                "--baseline", str(COMMITTED),
+                "--candidate", str(COMMITTED),
+                "--calibrate", "--threshold", "0.20",
+            ]
         ) == 0
 
     def test_slowed_committed_artifact_fails(self, tmp_path):
