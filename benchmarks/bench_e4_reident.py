@@ -1,20 +1,28 @@
-"""E4/E5 attack engines — re-identification + tracking, columnar versus scalar.
+"""E4/E5 — re-identification and tracking: experiment table + engine timings.
 
-Times the three attacks ported onto the columnar kernel layer in this PR —
+Two benches share this module (and its crossing-rich workload fixtures):
+
+* :func:`test_e4_reidentification` regenerates the re-identification table of
+  EXPERIMENTS.md — an attacker trained on the first half of each user's
+  history links the published pseudonyms of the second half back to the
+  users, through the POI-matching attack and the spatial-footprint attack —
+  and asserts its expected shape (plain pseudonymisation fully
+  re-identifiable, hiding POIs kills the POI matcher, only trajectory
+  swapping reduces the footprint attacker).
+* :func:`test_e4_attack_engines` times the three attacks ported onto the
+  columnar kernel layer —
 the POI-matching linkage (:class:`~repro.attacks.reident.Reidentifier`), the
 spatial-footprint matcher
 (:class:`~repro.attacks.reident.FootprintReidentifier`) and the multi-target
 tracker (:class:`~repro.attacks.tracking.MultiTargetTracker`) — under both
 implementations (vectorized kernels versus the scalar ``engine="reference"``
-oracles) on the crossing-rich workload, asserting identical outputs, and
-records the comparison in ``BENCH_e4_reident.<scale>.json`` — an artifact the
-CI benchmark-regression gate diffs against its committed baseline.
-
-The POI matcher is timed on its linkage stage (similarity matrix +
-assignment) with extraction precomputed: the stay-point scan was ported and
-benchmarked in the E1 bench (PR 3), and both engines of this attack share
-it.  The end-to-end ``attack()`` wall (extraction included) is recorded
-alongside as an informational cell.
+oracles), asserting identical outputs, and records the comparison in
+``BENCH_e4_reident.<scale>.json`` — an artifact the CI benchmark-regression
+gate diffs against its committed baseline.  The POI matcher is timed on its
+linkage stage (similarity matrix + assignment) with extraction precomputed:
+the stay-point scan was ported and benchmarked in the E1 bench (PR 3), and
+both engines of this attack share it.  The end-to-end ``attack()`` wall
+(extraction included) is recorded alongside as an informational cell.
 """
 
 from __future__ import annotations
@@ -28,8 +36,47 @@ from repro.attacks.reident import (
 )
 from repro.attacks.tracking import MultiTargetTracker, TrackingConfig
 from repro.experiments.formatting import format_table
+from repro.experiments.runner import run_reidentification
 from repro.experiments.workloads import split_train_publish
 from repro.mixzones.detection import detect_mix_zones
+
+E4_TABLE_HEADERS = [
+    "variant",
+    "poi_attack_rate",
+    "footprint_attack_rate",
+    "published_users",
+    "n_zones",
+    "n_swaps",
+]
+
+
+def test_e4_reidentification(benchmark, crossing_eval_world):
+    """The E4 experiment table, asserting its expected qualitative shape."""
+    rows = benchmark.pedantic(
+        lambda: run_reidentification(crossing_eval_world), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        E4_TABLE_HEADERS,
+        [[r[h] for h in E4_TABLE_HEADERS] for r in rows],
+        title="E4 - re-identification rate per publication variant",
+    ))
+
+    by_variant = {r["variant"]: r for r in rows}
+    baseline = by_variant["pseudonyms-only"]
+    assert baseline["poi_attack_rate"] > 0.8, "pseudonyms alone must not resist the POI attack"
+    assert baseline["footprint_attack_rate"] > 0.8
+
+    smoothing = by_variant["smoothing+pseudonyms"]
+    assert smoothing["poi_attack_rate"] < 0.2, "hiding POIs defeats the POI-matching attacker"
+
+    never = by_variant["paper-full(swap=never)"]
+    always = by_variant["paper-full(swap=always)"]
+    assert always["n_swaps"] > 0
+    assert always["footprint_attack_rate"] <= never["footprint_attack_rate"], (
+        "swapping must not make the footprint attacker stronger"
+    )
+    assert always["footprint_attack_rate"] < baseline["footprint_attack_rate"]
 
 #: Pre-refactor wall seconds of the end-to-end attacks on the raw crossing
 #: workload, by (attack, scale): the point-by-point implementations at commit

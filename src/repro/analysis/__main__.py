@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the reprolint static analyzer."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Finding records and their text/JSON renderings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["Finding", "format_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``scope_line`` is the ``def`` line of the enclosing function, when the
+    finding has one — a waiver comment there suppresses the finding too
+    (that is how a whole oracle or helper is waived without annotating every
+    statement).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    scope_line: Optional[int] = field(default=None, compare=False)
+
+    def render_text(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one block per finding) or ``json``."""
+    if fmt == "json":
+        payload: List[dict] = []
+        for finding in findings:
+            row = asdict(finding)
+            row.pop("scope_line", None)
+            payload.append(row)
+        return json.dumps({"findings": payload, "count": len(findings)}, indent=2)
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r}; choose 'text' or 'json'")
+    if not findings:
+        return ""
+    lines = [finding.render_text() for finding in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

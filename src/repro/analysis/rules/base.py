@@ -1,0 +1,27 @@
+"""The rule interface."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import ModuleIndex
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """One invariant checked as a pass over the module index.
+
+    Subclasses set ``id`` (the waiver token, e.g. ``"R1"``), ``name`` and
+    ``description`` (both shown by ``--list-rules``) and implement
+    :meth:`check`, yielding findings; waiver suppression is applied by the
+    caller so rules never need to consult the waiver tables themselves.
+    """
+
+    id: str = "?"
+    name: str = "?"
+    description: str = ""
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        raise NotImplementedError

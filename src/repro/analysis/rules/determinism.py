@@ -1,0 +1,124 @@
+"""R1 — determinism: no ambient randomness or wall clocks in cell computation.
+
+Every engine cell must be a pure function of its spec strings and seed —
+that is what makes rows bitwise-identical across scheduler backends and
+cell-cache keys stable.  This rule flags, in cell-computation modules, any
+call that draws entropy or time from the environment instead of a threaded
+``numpy.random.Generator``/seed:
+
+* the legacy global numpy RNG (``np.random.rand``, ``np.random.seed``, ...),
+  ``np.random.RandomState`` (legacy, superseded by ``Generator``) and
+  ``np.random.default_rng()`` *without* a seed argument;
+* stdlib ``random`` module functions and unseeded ``random.Random()``
+  (``random.SystemRandom`` is flagged even seeded — it is OS entropy);
+* wall-clock reads: ``time.time``/``time.time_ns``, ``datetime.now``,
+  ``datetime.utcnow``, ``date.today``.  Monotonic *duration* clocks
+  (``time.monotonic``, ``time.perf_counter``) are allowed: scheduler
+  timeouts and benchmarks need them and they never enter row content.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_chain, enclosing_def_line, import_aliases, iter_scoped_nodes
+from ..findings import Finding
+from ..index import ModuleIndex
+from .base import Rule
+
+__all__ = ["DeterminismRule"]
+
+#: Modules whose code computes (or schedules/caches) engine cells.
+_TARGETS = (
+    "repro/attacks/",
+    "repro/baselines/",
+    "repro/geo/",
+    "repro/mixzones/",
+    "repro/metrics/",
+    "repro/datagen/",
+    "repro/core/",
+    "repro/experiments/engine.py",
+    "repro/experiments/backends.py",
+    "repro/experiments/cache.py",
+    "repro/experiments/worker.py",
+)
+
+#: numpy.random attributes that draw from (or reseed) the global legacy RNG.
+_NUMPY_GLOBAL_DRAWS = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "bytes", "uniform",
+    "normal", "standard_normal", "poisson", "exponential", "binomial",
+    "beta", "gamma", "laplace", "lognormal", "multinomial", "pareto",
+    "triangular", "vonmises", "weibull", "zipf", "geometric",
+}
+
+_WALL_CLOCKS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+    ("datetime", "date", "today"),
+}
+
+
+class DeterminismRule(Rule):
+    id = "R1"
+    name = "determinism"
+    description = (
+        "cell-computation modules must thread an explicit Generator/seed; "
+        "no global RNG, unseeded default_rng(), stdlib random or wall-clock reads"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        for module in index.modules_matching(*_TARGETS):
+            aliases = import_aliases(module.tree)
+            for node, stack in iter_scoped_nodes(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_chain(node.func, aliases)
+                if not chain:
+                    continue
+                problem = self._classify(chain, node)
+                if problem:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=node.lineno,
+                        message=problem,
+                        hint=(
+                            "thread a seeded numpy.random.Generator (or the seed "
+                            "itself) through the call chain; monotonic duration "
+                            "clocks (time.monotonic/perf_counter) are allowed"
+                        ),
+                        scope_line=enclosing_def_line(stack),
+                    )
+
+    @staticmethod
+    def _classify(chain, call: ast.Call) -> str:
+        dotted = ".".join(chain)
+        has_args = bool(call.args or call.keywords)
+        if len(chain) >= 2 and chain[0] == "numpy" and chain[1] == "random":
+            tail = chain[-1]
+            if tail in _NUMPY_GLOBAL_DRAWS and len(chain) == 3:
+                return f"{dotted}() draws from the global numpy RNG"
+            if tail == "RandomState":
+                return "np.random.RandomState is legacy; use np.random.default_rng(seed)"
+            if tail == "default_rng" and not has_args:
+                return "np.random.default_rng() without a seed is entropy-seeded"
+            return ""
+        if chain[0] == "random" and len(chain) == 2 and "numpy" not in dotted:
+            tail = chain[1]
+            if tail == "SystemRandom":
+                return "random.SystemRandom draws OS entropy (never reproducible)"
+            if tail == "Random":
+                return "" if has_args else "random.Random() without a seed is entropy-seeded"
+            if tail[:1].islower():
+                return f"stdlib random.{tail}() uses the ambient global RNG"
+            return ""
+        if tuple(chain) in _WALL_CLOCKS or (
+            len(chain) == 2 and tuple(chain) in {t[-2:] for t in _WALL_CLOCKS if len(t) == 3}
+        ):
+            return f"{dotted}() reads the wall clock"
+        return ""

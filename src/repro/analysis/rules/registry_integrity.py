@@ -1,0 +1,303 @@
+"""R4 — registry integrity: registrations unique, every used spec resolves.
+
+A whole-program pass over everything the index parsed (``src``, ``tests``
+and ``benchmarks`` in CI):
+
+* **registration side** — every ``@register_mechanism/attack/metric/world``
+  (and ``MECHANISMS.register(...)``-style) name and alias must be a string
+  literal that the spec grammar can parse back (lowercase, no ``:`` ``,``
+  ``=`` ``|``), and must be unique within its kind across the library
+  (registrations inside test files are exempt from the uniqueness check —
+  tests register and unregister scratch components at runtime);
+* **usage side** — every spec string literal handed to
+  ``make_mechanism/attack/metric/world``, to a known registry's
+  ``.create(...)``, to an ``ExperimentSpec(...)`` axis keyword, or recorded
+  in ``DEFAULT_MECHANISM_SPECS``, must resolve (by its name part, case-
+  insensitively, chain stages split on ``|``) to a registered name of the
+  right kind.  Usages inside ``with pytest.raises(...)`` blocks are skipped
+  — those exercise the unknown-name error paths on purpose.  F-strings are
+  checked when the component name precedes the first interpolation.
+
+Names registered dynamically (non-literal first argument) are outside the
+static contract and are ignored; if one exists, usages of it would surface
+here — waive them at the use site with an explanatory comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..astutil import enclosing_def_line, iter_scoped_nodes
+from ..findings import Finding
+from ..index import ModuleIndex
+from .base import Rule
+
+__all__ = ["RegistryIntegrityRule"]
+
+_REGISTER_FUNCS = {
+    "register_mechanism": "mechanism",
+    "register_attack": "attack",
+    "register_metric": "metric",
+    "register_world": "world",
+}
+_REGISTRY_NAMES = {
+    "MECHANISMS": "mechanism",
+    "ATTACKS": "attack",
+    "METRICS": "metric",
+    "WORLDS": "world",
+}
+_MAKE_FUNCS = {
+    "make_mechanism": "mechanism",
+    "make_attack": "attack",
+    "make_metric": "metric",
+    "make_world": "world",
+}
+#: ExperimentSpec axis keywords whose string entries are registry specs.
+#: ``worlds`` is deliberately absent: its entries may be run-time labels
+#: resolved through ``EvaluationEngine.run(spec, worlds={label: world})``,
+#: which a static pass cannot see — only direct ``make_world``/
+#: ``WORLDS.create`` calls are checked for that kind.
+_SPEC_KWARGS = {
+    "mechanisms": "mechanism",
+    "attacks": "attack",
+    "metrics": "metric",
+}
+
+#: Characters the spec grammar reserves; a registered name containing one
+#: could never round-trip through parse_spec.
+_RESERVED = set(":,=|")
+
+
+def _is_library_module(logical: str) -> bool:
+    return "/repro/" in logical or logical.startswith("repro/")
+
+
+def _name_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _leading_text(node: ast.AST) -> Optional[str]:
+    """The static text of a string literal or an f-string's leading run."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _spec_name(text: str) -> Optional[str]:
+    """The component name a spec resolves through, or None if undecidable."""
+    head = text.split("|", 1)[0]
+    if ":" in head:
+        return head.split(":", 1)[0].strip()
+    return head.strip()
+
+
+class RegistryIntegrityRule(Rule):
+    id = "R4"
+    name = "registry-integrity"
+    description = (
+        "register_* names must be unique and spec-grammar-parseable; every "
+        "spec string used by runners/tests/benchmarks must resolve"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        registered: Dict[str, Set[str]] = {k: set() for k in _REGISTER_FUNCS.values()}
+        # test modules may register scratch components and use them locally
+        local: Dict[Tuple[str, str], Set[str]] = {}
+        registrations: List[Tuple[str, str, str, int, bool]] = []
+        # kind, name (lowercased), path, line, is_library
+
+        for module in index.modules:
+            is_library = _is_library_module(module.logical)
+            for node, _stack in iter_scoped_nodes(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind = self._registration_kind(node)
+                if kind is None:
+                    continue
+                if not node.args:
+                    continue
+                names: List[Optional[str]] = [_name_literal(node.args[0])]
+                for keyword in node.keywords:
+                    if keyword.arg == "aliases" and isinstance(
+                        keyword.value, (ast.Tuple, ast.List)
+                    ):
+                        names.extend(_name_literal(e) for e in keyword.value.elts)
+                for name in names:
+                    if name is None:
+                        continue  # dynamic registration: outside the contract
+                    registrations.append(
+                        (kind, name.lower(), module.path, node.lineno, is_library)
+                    )
+                    if is_library:
+                        registered[kind].add(name.lower())
+                    else:
+                        local.setdefault((module.path, kind), set()).add(name.lower())
+
+        # -- registration-side checks ------------------------------------------------
+        seen: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for kind, name, path, line, is_library in registrations:
+            bad = sorted(c for c in _RESERVED if c in name)
+            if bad or not name or name != name.strip() or name.lower() != name:
+                yield Finding(
+                    rule=self.id,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"{kind} name {name!r} is not spec-grammar-parseable"
+                        + (f" (reserved characters: {''.join(bad)})" if bad else "")
+                    ),
+                    hint="registered names must be lowercase and free of : , = |",
+                )
+                continue
+            if not is_library:
+                continue
+            if (kind, name) in seen:
+                first_path, first_line = seen[(kind, name)]
+                yield Finding(
+                    rule=self.id,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"{kind} {name!r} is registered twice "
+                        f"(first at {first_path}:{first_line})"
+                    ),
+                    hint="every registry name/alias must be unique within its kind",
+                )
+            else:
+                seen[(kind, name)] = (path, line)
+
+        # -- usage-side checks ---------------------------------------------------------
+        for module in index.modules:
+            raises_ranges = self._pytest_raises_ranges(module.tree)
+            for spec_node, kind, stack in self._iter_spec_usages(module.tree):
+                text = _leading_text(spec_node)
+                if text is None:
+                    continue
+                if isinstance(spec_node, ast.JoinedStr) and ":" not in text:
+                    continue  # name continues into an interpolation: undecidable
+                if any(lo <= spec_node.lineno <= hi for lo, hi in raises_ranges):
+                    continue
+                if not registered[kind]:
+                    continue  # no registrations of this kind under analysis
+                known = registered[kind] | local.get((module.path, kind), set())
+                for stage in text.split("|"):
+                    name = _spec_name(stage)
+                    if not name or name.lower() in known:
+                        continue
+                    close = difflib.get_close_matches(
+                        name.lower(), sorted(registered[kind]), n=1
+                    )
+                    hint = f"did you mean {close[0]!r}?" if close else (
+                        f"registered {kind}s: " + ", ".join(sorted(registered[kind]))
+                    )
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=spec_node.lineno,
+                        message=f"spec {stage.strip()!r} names an unregistered {kind}",
+                        hint=hint,
+                        scope_line=enclosing_def_line(stack),
+                    )
+
+    # -- collection helpers -------------------------------------------------------
+
+    @staticmethod
+    def _registration_kind(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _REGISTER_FUNCS:
+            return _REGISTER_FUNCS[func.id]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "register"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _REGISTRY_NAMES
+        ):
+            return _REGISTRY_NAMES[func.value.id]
+        return None
+
+    @staticmethod
+    def _pytest_raises_ranges(tree: ast.AST) -> List[Tuple[int, int]]:
+        ranges: List[Tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "raises"
+                ):
+                    end = max(
+                        (getattr(s, "end_lineno", s.lineno) for s in node.body),
+                        default=node.lineno,
+                    )
+                    ranges.append((node.lineno, end))
+        return ranges
+
+    def _iter_spec_usages(self, tree: ast.AST):
+        """Yield (string node, kind, scope stack) for every checked spec usage."""
+        for node, stack in iter_scoped_nodes(tree):
+            if isinstance(node, ast.Call):
+                kind = self._call_kind(node)
+                if kind and node.args:
+                    yield node.args[0], kind, stack
+                if self._is_experiment_spec_call(node):
+                    for keyword in node.keywords:
+                        axis_kind = _SPEC_KWARGS.get(keyword.arg or "")
+                        if axis_kind:
+                            yield from self._axis_strings(keyword.value, axis_kind, stack)
+            elif isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if "DEFAULT_MECHANISM_SPECS" in targets and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for value in node.value.values:
+                        yield value, "mechanism", stack
+
+    @staticmethod
+    def _call_kind(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _MAKE_FUNCS:
+            return _MAKE_FUNCS[func.id]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "create"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _REGISTRY_NAMES
+        ):
+            return _REGISTRY_NAMES[func.value.id]
+        return None
+
+    @staticmethod
+    def _is_experiment_spec_call(call: ast.Call) -> bool:
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name == "ExperimentSpec"
+
+    @staticmethod
+    def _axis_strings(node: ast.AST, kind: str, stack):
+        """String specs inside an axis literal: lists/tuples, (label, spec)
+        pairs, and metric-group tuples."""
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                if isinstance(element, ast.Tuple) and element.elts:
+                    if kind == "metric":
+                        # a metric *group*: every member is its own spec
+                        for member in element.elts:
+                            yield member, kind, stack
+                    elif len(element.elts) == 2:
+                        # a (label, spec-or-object) pair: check the spec slot
+                        yield element.elts[1], kind, stack
+                else:
+                    yield element, kind, stack

@@ -1,0 +1,153 @@
+"""R5 — spawn safety: no mutable module state or closures into worker payloads.
+
+The work-queue backend evaluates cells in *fresh interpreters* (spawned
+workers import the module tree from scratch), and the process-pool backend
+pickles payloads across process boundaries.  Two classes of code break
+those contracts silently:
+
+* **module-level mutable state** in ``repro/experiments/`` — a list/dict/
+  set accumulated at import time diverges between the parent and a spawned
+  worker, so the same cell can compute differently per backend.  ALL-CAPS
+  constants are exempt (frozen-by-convention lookup tables like
+  ``DEFAULT_MECHANISM_SPECS``); mutable literals bound to ordinary names
+  are flagged.
+* **closures in work-distribution payloads** — a ``lambda`` or nested
+  function handed to ``Pool.map``/``imap``/``starmap``/``apply_async``/
+  ``executor.submit``/``map_groups`` cannot pickle under the spawn start
+  method.  Work functions must be module-level ``def``s (the engine's
+  ``_evaluate_group`` pattern).  The builtin ``map(...)`` (bare name, not
+  an attribute) is lazy iteration, not distribution, and is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import enclosing_def_line, iter_scoped_nodes
+from ..findings import Finding
+from ..index import ModuleIndex
+from .base import Rule
+
+__all__ = ["SpawnSafetyRule"]
+
+_TARGETS = ("repro/experiments/",)
+
+#: Attribute-call names that distribute work across process boundaries.
+_DISTRIBUTION_METHODS = {
+    "map_groups", "map", "imap", "imap_unordered", "starmap",
+    "starmap_async", "map_async", "apply_async", "submit",
+}
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+
+
+def _mutable_literal_kind(value: ast.AST) -> Optional[str]:
+    """What kind of mutable container a module-level value is, if any."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name in _MUTABLE_FACTORIES:
+            return name
+    return None
+
+
+def _is_constant_name(name: str) -> bool:
+    # ALL_CAPS constants and dunders (__all__ &c.) are frozen by convention.
+    return name == name.upper() or (name.startswith("__") and name.endswith("__"))
+
+
+class SpawnSafetyRule(Rule):
+    id = "R5"
+    name = "spawn-safety"
+    description = (
+        "experiments/ must not keep module-level mutable state or pass "
+        "lambdas/closures into multiprocessing work-distribution calls"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        for module in index.modules_matching(*_TARGETS):
+            yield from self._check_module_state(module)
+            yield from self._check_payload_closures(module)
+
+    def _check_module_state(self, module) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(module.tree):
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names = [node.target.id]
+                value = node.value
+            else:
+                continue
+            if value is None:
+                continue
+            kind = _mutable_literal_kind(value)
+            if kind is None:
+                continue
+            flagged = [n for n in names if not _is_constant_name(n)]
+            if not flagged:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=module.path,
+                line=node.lineno,
+                message=(
+                    f"module-level mutable {kind} {flagged[0]!r} diverges between "
+                    "the parent and spawn-started workers"
+                ),
+                hint=(
+                    "pass the state through the payload or rebuild it per call; "
+                    "rename to ALL_CAPS only if it is genuinely a frozen constant"
+                ),
+            )
+
+    def _check_payload_closures(self, module) -> Iterator[Finding]:
+        # Names of functions defined *inside* another function (unpicklable
+        # under spawn when referenced by name in a payload call).
+        nested_defs = set()
+        for node, stack in iter_scoped_nodes(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+                isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef)) for s in stack
+            ):
+                nested_defs.add(node.name)
+
+        for node, stack in iter_scoped_nodes(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in _DISTRIBUTION_METHODS):
+                continue
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.Lambda):
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=arg.lineno,
+                        message=(
+                            f"lambda passed to .{func.attr}() cannot pickle under "
+                            "the spawn start method"
+                        ),
+                        hint="hoist the work function to module level (see _evaluate_group)",
+                        scope_line=enclosing_def_line(stack),
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=arg.lineno,
+                        message=(
+                            f"nested function {arg.id!r} passed to .{func.attr}() "
+                            "closes over local state and cannot pickle under spawn"
+                        ),
+                        hint="hoist the work function to module level (see _evaluate_group)",
+                        scope_line=enclosing_def_line(stack),
+                    )

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,8 +46,13 @@ from ..attacks.tracking import MultiTargetTracker, TrackingConfig
 from ..core.trajectory import MobilityDataset
 from ..metrics.privacy import poi_retrieval_pooled, tracking_success
 from ..mixzones.detection import MixZoneDetectionConfig, MixZoneDetector
+from .protocols import EvaluationContext
 from .registry import RegistryError, register_attack
 from .result import PublicationResult
+
+#: Ground-truth provider: a SyntheticWorld or RealWorld (duck-typed — both
+#: expose ``dataset``, ``user_ids`` and ``true_pois_of``; no common base).
+World = Any
 
 __all__ = [
     "ground_truth_pois",
@@ -63,7 +68,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def ground_truth_pois(world, min_stay_s: float = 900.0) -> List[Tuple[float, float]]:
+def ground_truth_pois(world: World, min_stay_s: float = 900.0) -> List[Tuple[float, float]]:
     """Distinct ground-truth POI locations visited long enough to be attackable."""
     seen: Dict[str, Tuple[float, float]] = {}
     for user_id in world.user_ids:
@@ -81,7 +86,9 @@ _TRUTH_CACHE: Dict[Tuple, _CacheEntry] = {}
 _KNOWLEDGE_CACHE: Dict[Tuple, _CacheEntry] = {}
 
 
-def _world_cached(cache: Dict, world, key: Tuple, build: Callable[[], Any]) -> Any:
+def _world_cached(
+    cache: Dict[Tuple, _CacheEntry], world: World, key: Tuple, build: Callable[[], Any]
+) -> Any:
     entry = cache.get(key)
     if entry is not None and entry[0]() is world:
         return entry[1]
@@ -92,7 +99,7 @@ def _world_cached(cache: Dict, world, key: Tuple, build: Callable[[], Any]) -> A
     return value
 
 
-def _truth_pois(world, min_stay_s: float) -> List[Tuple[float, float]]:
+def _truth_pois(world: World, min_stay_s: float) -> List[Tuple[float, float]]:
     key = (id(world), min_stay_s)
     return _world_cached(
         _TRUTH_CACHE, world, key, lambda: ground_truth_pois(world, min_stay_s)
@@ -159,7 +166,9 @@ class PoiRetrievalEvaluator:
         )
         return clusterer.extract_dataset
 
-    def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
+    def run(
+        self, result: PublicationResult, context: Optional[EvaluationContext] = None
+    ) -> Dict[str, object]:
         if context is None or getattr(context, "world", None) is None:
             raise ValueError("poi-retrieval needs a world for ground-truth POIs")
         truth = _truth_pois(context.world, self.min_stay_s)
@@ -204,10 +213,12 @@ class ReidentEvaluator:
                 f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
             )
 
-    def _attackers(self, world):
+    def _attackers(
+        self, world: World
+    ) -> Tuple[Reidentifier, Any, FootprintReidentifier, Any]:
         from ..experiments.workloads import split_train_publish
 
-        def build():
+        def build() -> Tuple[Reidentifier, Any, FootprintReidentifier, Any]:
             training, _ = split_train_publish(world, self.train_fraction)
             poi_attacker = Reidentifier(
                 ReidentificationConfig(
@@ -230,7 +241,9 @@ class ReidentEvaluator:
         )
         return _world_cached(_KNOWLEDGE_CACHE, world, key, build)
 
-    def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
+    def run(
+        self, result: PublicationResult, context: Optional[EvaluationContext] = None
+    ) -> Dict[str, object]:
         if context is None or getattr(context, "world", None) is None:
             raise ValueError("reident needs a world for attacker knowledge")
         poi_attacker, poi_knowledge, fp_attacker, fp_knowledge = self._attackers(
@@ -275,7 +288,9 @@ class TrackingEvaluator:
                 f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
             )
 
-    def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
+    def run(
+        self, result: PublicationResult, context: Optional[EvaluationContext] = None
+    ) -> Dict[str, object]:
         report = result.report
         if report is None:
             raise ValueError(
@@ -308,7 +323,9 @@ class ZoneCensusEvaluator:
     radius_m: float = 100.0
     name: str = field(default="zone-census", init=False)
 
-    def run(self, result: PublicationResult, context=None) -> Dict[str, object]:
+    def run(
+        self, result: PublicationResult, context: Optional[EvaluationContext] = None
+    ) -> Dict[str, object]:
         detector = MixZoneDetector(MixZoneDetectionConfig(radius_m=self.radius_m))
         zones = detector.detect(result.dataset)
         sizes = [zone.n_participants for zone in zones] or [0]

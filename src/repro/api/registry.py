@@ -34,7 +34,7 @@ from __future__ import annotations
 import difflib
 import inspect
 import threading
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = [
     "RegistryError",
@@ -147,7 +147,7 @@ class Registry:
         factory: Optional[Callable[..., Any]] = None,
         *,
         aliases: Iterable[str] = (),
-    ):
+    ) -> Callable[..., Any]:
         """Register ``factory`` under ``name`` (usable as a decorator)."""
 
         def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
@@ -208,7 +208,7 @@ class Registry:
         return factory
 
     @staticmethod
-    def _declared_params(factory: Callable[..., Any]) -> Optional[frozenset]:
+    def _declared_params(factory: Callable[..., Any]) -> FrozenSet[str]:
         try:
             signature = inspect.signature(factory)
         except (TypeError, ValueError):
@@ -298,7 +298,7 @@ def make_mechanism(
     *,
     defaults: Optional[Mapping[str, Any]] = None,
     wrap: bool = True,
-):
+) -> Any:
     """Build a mechanism from a spec string.
 
     With ``wrap=True`` (default) the mechanism is wrapped in a
@@ -326,13 +326,13 @@ def make_mechanism(
     return MechanismAdapter(inner, spec=spec)
 
 
-def make_attack(spec: str, *, defaults: Optional[Mapping[str, Any]] = None):
+def make_attack(spec: str, *, defaults: Optional[Mapping[str, Any]] = None) -> Any:
     """Build an attack (raw algorithm or engine evaluator) from a spec string."""
     _load_builtin_plugins()
     return ATTACKS.create(spec, defaults=defaults)
 
 
-def make_metric(spec: str, *, defaults: Optional[Mapping[str, Any]] = None):
+def make_metric(spec: str, *, defaults: Optional[Mapping[str, Any]] = None) -> Any:
     """Build a metric callable ``metric(original, result) -> columns``."""
     _load_builtin_plugins()
     return METRICS.create(spec, defaults=defaults)

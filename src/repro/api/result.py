@@ -25,7 +25,7 @@ dataset keeps working when handed a result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional
 
 from ..core.trajectory import MobilityDataset, Trajectory
 
@@ -60,7 +60,7 @@ class PublicationResult:
         return self.dataset[user_id]
 
     @property
-    def user_ids(self):
+    def user_ids(self) -> List[str]:
         return self.dataset.user_ids
 
     @property

@@ -17,6 +17,13 @@ whenever
 * the two fixes are within ``max_reappear_distance_m`` of each other (the
   user reappears where she vanished).
 
+``engine`` selects the implementation: ``"vectorized"`` (default) resolves
+all gap candidates of a whole dataset in one batched pass over its cached
+columnar view (gaps never cross users, which the flattened form encodes in
+``user_index``), ``"reference"`` the retained scalar per-candidate scan —
+the correctness oracle the vectorized path is pinned against by property
+tests.
+
 Mitigations available in the library: trimming session extremities
 (``trim_start_m`` / ``trim_end_m`` in the smoothing configuration) moves the
 published endpoints away from the true POI, and mix-zone swapping detaches the
@@ -26,12 +33,12 @@ segment before the gap from the segment after it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
-from ..geo.distance import haversine
+from ..geo.distance import haversine, haversine_array
 from .poi_extraction import ExtractedPoi
 
 __all__ = ["GapInferenceConfig", "GapInferenceAttack", "infer_pois_from_gaps"]
@@ -44,12 +51,15 @@ class GapInferenceConfig:
     ``min_gap_s`` is the minimum silence treated as a potential stay;
     ``max_reappear_distance_m`` is how close the reappearance must be to the
     disappearance for the stay location to be considered known;
-    ``merge_distance_m`` merges repeated inferred stays at the same place.
+    ``merge_distance_m`` merges repeated inferred stays at the same place;
+    ``engine`` selects the vectorized implementation or the scalar reference
+    oracle.
     """
 
     min_gap_s: float = 3600.0
     max_reappear_distance_m: float = 300.0
     merge_distance_m: float = 150.0
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.min_gap_s <= 0.0:
@@ -58,6 +68,10 @@ class GapInferenceConfig:
             raise ValueError("max_reappear_distance_m must be positive")
         if self.merge_distance_m < 0.0:
             raise ValueError("merge_distance_m must be non-negative")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {self.engine!r}"
+            )
 
 
 class GapInferenceAttack:
@@ -68,18 +82,95 @@ class GapInferenceAttack:
 
     def extract(self, trajectory: Trajectory) -> List[ExtractedPoi]:
         """Inferred POIs of one published trace."""
-        cfg = self.config
-        n = len(trajectory)
-        if n < 2:
+        if self.config.engine == "reference":
+            return self._merge_reference(self._extract_reference(trajectory))
+        if len(trajectory) < 2:
             return []
-        ts = np.asarray(trajectory.timestamps)
-        lats = np.asarray(trajectory.lats)
-        lons = np.asarray(trajectory.lons)
+        ts = np.asarray(trajectory.timestamps, dtype=float)
+        lats = np.asarray(trajectory.lats, dtype=float)
+        lons = np.asarray(trajectory.lons, dtype=float)
+        candidates = np.nonzero(np.diff(ts) >= self.config.min_gap_s)[0]
+        return self._merge(
+            self._pois_at(trajectory.user_id, candidates, ts, lats, lons)
+        )
+
+    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
+        """Run the attack on every published trace of the dataset.
+
+        The vectorized engine screens every gap candidate of the whole
+        dataset in one batched pass over its cached columnar view, masking
+        out the candidates that straddle a user boundary; the reference
+        engine scans trajectories one by one.
+        """
+        if self.config.engine == "reference":
+            return {traj.user_id: self.extract(traj) for traj in dataset}
+        traces = dataset.columnar()
+        candidates = np.nonzero(np.diff(traces.timestamps) >= self.config.min_gap_s)[0]
+        # A diff at index i spans points (i, i + 1): keep within-user spans only.
+        candidates = candidates[
+            traces.user_index[candidates] == traces.user_index[candidates + 1]
+        ]
+        per_user: Dict[str, List[ExtractedPoi]] = {u: [] for u in traces.user_ids}
+        for i in self._screen(candidates, traces.lats, traces.lons):
+            user = traces.user_ids[int(traces.user_index[i])]
+            per_user[user].append(
+                self._poi_between(user, i, traces.timestamps, traces.lats, traces.lons)
+            )
+        return {user: self._merge(pois) for user, pois in per_user.items()}
+
+    def _screen(
+        self, candidates: np.ndarray, lats: np.ndarray, lons: np.ndarray
+    ) -> List[int]:
+        """Gap candidates surviving the batched reappearance-distance screen."""
+        if candidates.size == 0:
+            return []
+        distances = haversine_array(
+            lats[candidates], lons[candidates], lats[candidates + 1], lons[candidates + 1]
+        )
+        return candidates[distances <= self.config.max_reappear_distance_m].tolist()
+
+    def _pois_at(
+        self,
+        user_id: str,
+        candidates: np.ndarray,
+        ts: np.ndarray,
+        lats: np.ndarray,
+        lons: np.ndarray,
+    ) -> List[ExtractedPoi]:
+        return [
+            self._poi_between(user_id, i, ts, lats, lons)
+            for i in self._screen(candidates, lats, lons)
+        ]
+
+    @staticmethod
+    def _poi_between(
+        user_id: str, i: int, ts: np.ndarray, lats: np.ndarray, lons: np.ndarray
+    ) -> ExtractedPoi:
+        """The POI inferred from the gap between points ``i`` and ``i + 1``."""
+        return ExtractedPoi(
+            user_id=user_id,
+            lat=float((lats[i] + lats[i + 1]) / 2.0),
+            lon=float((lons[i] + lons[i + 1]) / 2.0),
+            t_start=float(ts[i]),
+            t_end=float(ts[i + 1]),
+            n_points=2,
+        )
+
+    def _extract_reference(self, trajectory: Trajectory) -> List[ExtractedPoi]:
+        """Scalar per-candidate scan (the equivalence oracle)."""
+        cfg = self.config
+        if len(trajectory) < 2:
+            return []
+        ts = np.asarray(trajectory.timestamps, dtype=float)
+        lats = np.asarray(trajectory.lats, dtype=float)
+        lons = np.asarray(trajectory.lons, dtype=float)
 
         inferred: List[ExtractedPoi] = []
         gaps = np.diff(ts)
         for i in np.nonzero(gaps >= cfg.min_gap_s)[0]:
-            distance = haversine(float(lats[i]), float(lons[i]), float(lats[i + 1]), float(lons[i + 1]))
+            distance = haversine(
+                float(lats[i]), float(lons[i]), float(lats[i + 1]), float(lons[i + 1])
+            )
             if distance > cfg.max_reappear_distance_m:
                 continue
             inferred.append(
@@ -92,24 +183,55 @@ class GapInferenceAttack:
                     n_points=2,
                 )
             )
-        return self._merge(inferred)
+        return inferred
 
-    def extract_dataset(self, dataset: MobilityDataset) -> Dict[str, List[ExtractedPoi]]:
-        """Run the attack on every published trace of the dataset."""
-        return {traj.user_id: self.extract(traj) for traj in dataset}
+    def _merge(self, pois: Sequence[ExtractedPoi]) -> List[ExtractedPoi]:
+        """Merge inferred stays of the same trace closer than ``merge_distance_m``.
 
-    def _merge(self, pois: List[ExtractedPoi]) -> List[ExtractedPoi]:
-        """Merge inferred stays of the same trace closer than ``merge_distance_m``."""
+        Greedy first-match grouping against each group's *first* member; the
+        candidate distances per stay are batched with :func:`haversine_array`
+        over the group-anchor arrays.
+        """
         if self.config.merge_distance_m <= 0.0 or len(pois) <= 1:
-            return pois
+            return list(pois)
+        anchor_lats = np.empty(len(pois))
+        anchor_lons = np.empty(len(pois))
+        groups: List[List[ExtractedPoi]] = []
+        for poi in pois:
+            k = len(groups)
+            if k:
+                distances = haversine_array(
+                    poi.lat, poi.lon, anchor_lats[:k], anchor_lons[:k]
+                )
+                hits = np.nonzero(distances <= self.config.merge_distance_m)[0]
+                if hits.size:
+                    groups[int(hits[0])].append(poi)
+                    continue
+            anchor_lats[k] = poi.lat
+            anchor_lons[k] = poi.lon
+            groups.append([poi])
+        return self._collapse(groups)
+
+    def _merge_reference(self, pois: Sequence[ExtractedPoi]) -> List[ExtractedPoi]:
+        """Scalar greedy merge of the same semantics (the equivalence oracle)."""
+        if self.config.merge_distance_m <= 0.0 or len(pois) <= 1:
+            return list(pois)
         groups: List[List[ExtractedPoi]] = []
         for poi in pois:
             for group in groups:
-                if haversine(poi.lat, poi.lon, group[0].lat, group[0].lon) <= self.config.merge_distance_m:
+                if (
+                    haversine(poi.lat, poi.lon, group[0].lat, group[0].lon)
+                    <= self.config.merge_distance_m
+                ):
                     group.append(poi)
                     break
             else:
                 groups.append([poi])
+        return self._collapse(groups)
+
+    @staticmethod
+    def _collapse(groups: Sequence[Sequence[ExtractedPoi]]) -> List[ExtractedPoi]:
+        """Collapse merge groups into POIs (shared by both merge engines)."""
         return [
             ExtractedPoi(
                 user_id=group[0].user_id,
@@ -136,6 +258,7 @@ def _gap_inference_attack(
     min_gap_s: float = 3600.0,
     max_reappear_distance_m: float = 300.0,
     merge_distance_m: float = 150.0,
+    engine: str = "vectorized",
 ) -> GapInferenceAttack:
     """Recording-gap inference, e.g. ``gap-inference:min_gap_s=1800``."""
     return GapInferenceAttack(
@@ -143,5 +266,6 @@ def _gap_inference_attack(
             min_gap_s=min_gap_s,
             max_reappear_distance_m=max_reappear_distance_m,
             merge_distance_m=merge_distance_m,
+            engine=engine,
         )
     )

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
-from ..geo.distance import haversine
+from ..geo.distance import haversine, haversine_array
 from ..geo.kernels import ColumnarTraces, windowed_stay_spans
 
 __all__ = ["ExtractedPoi", "PoiExtractionConfig", "PoiExtractor", "extract_pois"]
@@ -218,14 +218,44 @@ class PoiExtractor:
 
         Merging uses a simple greedy pass: each stay either joins the first
         existing group whose centroid is close enough or starts a new group.
-        Group centroids are the point-count weighted mean of their members,
-        maintained as running sums (both engines share this code, so POIs
-        stay identical across engines by construction).
+        Group centroids are the plain mean of their members, maintained as
+        running sums — the centroid only steers the grouping; the emitted POI
+        uses point-count weighted sums (see :meth:`_collapse`).  The
+        vectorized engine batches each stay's distances to all group
+        centroids with :func:`haversine_array`; the reference engine probes
+        groups one by one.
         """
         if self.config.merge_distance_m <= 0.0 or len(stays) <= 1:
             return list(stays)
-        # Per group: [members, lat_sum, lon_sum] — the plain centroid only
-        # steers the greedy grouping; the emitted POI uses weighted sums.
+        if self.config.engine == "reference":
+            return self._merge_reference(stays)
+        lat_sums = np.empty(len(stays))
+        lon_sums = np.empty(len(stays))
+        counts = np.empty(len(stays))
+        groups: List[List[ExtractedPoi]] = []
+        for stay in stays:
+            k = len(groups)
+            if k:
+                distances = haversine_array(
+                    stay.lat, stay.lon, lat_sums[:k] / counts[:k], lon_sums[:k] / counts[:k]
+                )
+                hits = np.nonzero(distances <= self.config.merge_distance_m)[0]
+                if hits.size:
+                    g = int(hits[0])
+                    groups[g].append(stay)
+                    lat_sums[g] += stay.lat
+                    lon_sums[g] += stay.lon
+                    counts[g] += 1.0
+                    continue
+            lat_sums[k] = stay.lat
+            lon_sums[k] = stay.lon
+            counts[k] = 1.0
+            groups.append([stay])
+        return self._collapse(groups)
+
+    def _merge_reference(self, stays: Sequence[ExtractedPoi]) -> List[ExtractedPoi]:
+        """Scalar greedy merge of the same semantics (the equivalence oracle)."""
+        # Per group: [members, lat_sum, lon_sum].
         groups: List[list] = []
         for stay in stays:
             placed = False
@@ -241,8 +271,13 @@ class PoiExtractor:
                     break
             if not placed:
                 groups.append([[stay], stay.lat, stay.lon])
+        return self._collapse([group for group, _, _ in groups])
+
+    @staticmethod
+    def _collapse(groups: Sequence[Sequence[ExtractedPoi]]) -> List[ExtractedPoi]:
+        """Collapse merge groups into POIs (shared by both merge engines)."""
         merged: List[ExtractedPoi] = []
-        for group, _, _ in groups:
+        for group in groups:
             weight = float(sum(s.n_points for s in group))
             merged.append(
                 ExtractedPoi(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from .backends import MultiprocessingBackend, SerialBackend, WorkQueueBackend
 from .engine import EvaluationEngine, ExperimentSpec
@@ -40,7 +40,9 @@ def check_spec(scale: str = "tiny", seed: int = 5) -> ExperimentSpec:
     )
 
 
-def _rows_identical(reference, candidate, label: str) -> bool:
+def _rows_identical(
+    reference: Sequence[Dict[str, Any]], candidate: Sequence[Dict[str, Any]], label: str
+) -> bool:
     if candidate == reference:
         print(f"ok   {label}: {len(candidate)} rows identical to serial")
         return True

@@ -39,7 +39,7 @@ import sys
 import threading
 import time
 from multiprocessing.managers import BaseManager
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 __all__ = [
     "SchedulerBackend",
@@ -65,7 +65,7 @@ CRASH_ENV = "REPRO_WORKQUEUE_CRASH_ON_CLAIM"
 GroupResult = List[Tuple[int, Dict[str, Any]]]
 
 
-def _evaluate(payload) -> GroupResult:
+def _evaluate(payload: Tuple) -> GroupResult:
     from .engine import _evaluate_group
 
     return _evaluate_group(payload)
@@ -134,7 +134,9 @@ class WorkQueueError(RuntimeError):
         self.failures = failures
 
 
-def _make_queue_manager(task_queue, result_queue) -> BaseManager:
+def _make_queue_manager(
+    task_queue: "queue.Queue", result_queue: "queue.Queue"
+) -> Type[BaseManager]:
     """A fresh manager class per run: serves the two queues over TCP.
 
     The class is local so concurrent :class:`WorkQueueBackend` runs never
@@ -259,7 +261,8 @@ class WorkQueueBackend(SchedulerBackend):
         manager_class = _make_queue_manager(task_queue, result_queue)
         authkey_hex = secrets.token_hex(16)
         manager = manager_class(address=("127.0.0.1", 0), authkey=authkey_hex.encode("ascii"))
-        server = manager.get_server()
+        # Any: the Server type (and its stop_event/listener) is not in typeshed.
+        server: Any = manager.get_server()
 
         def _serve() -> None:
             try:
@@ -434,7 +437,12 @@ class WorkQueueBackend(SchedulerBackend):
         }
         return [result for result in results if result is not None]
 
-    def _shutdown(self, procs, task_queue, server) -> None:
+    def _shutdown(
+        self,
+        procs: Mapping[int, "subprocess.Popen"],
+        task_queue: "queue.Queue",
+        server: Any,  # multiprocessing.managers Server (no public type)
+    ) -> None:
         for _ in range(len(procs) + 1):
             task_queue.put(None)  # sentinel: workers exit their loop
         deadline = time.monotonic() + 5.0

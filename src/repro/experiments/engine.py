@@ -187,7 +187,7 @@ class EvalContext:
     seed: int
 
 
-def _resolve_input(world, input_spec: str) -> MobilityDataset:
+def _resolve_input(world: Any, input_spec: str) -> MobilityDataset:
     name, params = parse_spec(input_spec)
     if name in ("full", "dataset"):
         return world.dataset
@@ -212,14 +212,16 @@ def _apply_prefix(columns: Mapping[str, Any], prefix: str) -> Dict[str, Any]:
     return {prefix + key: value for key, value in columns.items()}
 
 
-def _publish_for_group(mech_item, mech_label, input_dataset, seed) -> PublicationResult:
+def _publish_for_group(
+    mech_item: Any, mech_label: str, input_dataset: MobilityDataset, seed: int
+) -> PublicationResult:
     if isinstance(mech_item, str):
         mechanism = make_mechanism(mech_item, defaults={"seed": seed})
         return mechanism.publish(input_dataset)
     return publish_result(mech_item, input_dataset, label=mech_label)
 
 
-def _evaluate_group(payload) -> List[Tuple[int, Dict[str, Any]]]:
+def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
     """Evaluate every cell sharing one (world, seed, mechanism) publication.
 
     Module-level so worker processes can unpickle it; all component
@@ -269,7 +271,7 @@ def _evaluate_group(payload) -> List[Tuple[int, Dict[str, Any]]]:
 # ---------------------------------------------------------------------------
 
 
-def _world_fingerprint(world) -> Tuple:
+def _world_fingerprint(world: Any) -> Tuple:
     """A content fingerprint strong enough to key cached rows by.
 
     Shape alone (user/point counts, time span) is not enough — two worlds
@@ -348,7 +350,9 @@ class EvaluationEngine:
 
     # -- cache ----------------------------------------------------------------------
 
-    def _cell_key(self, spec: ExperimentSpec, fingerprint: Tuple, cell) -> Optional[Tuple]:
+    def _cell_key(
+        self, spec: ExperimentSpec, fingerprint: Tuple, cell: Dict[str, Any]
+    ) -> Optional[Tuple]:
         if not self.cache_enabled or not isinstance(cell["mech_item"], str):
             return None
         attack_item = cell["attack_item"]

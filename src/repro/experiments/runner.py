@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import os
 import warnings
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api.evaluators import ground_truth_pois
 from ..api.registry import make_mechanism
@@ -197,12 +197,20 @@ def _mechanism_axis(mechanisms: Optional[MechanismMap]) -> List[Tuple[str, objec
     return [(name, mechanism) for name, mechanism in mechanisms.items()]
 
 
-def _project(rows: Sequence[Dict[str, object]], mapping) -> List[Dict[str, object]]:
+#: One legacy row column: its key and how to read it off an engine row.
+RowColumn = Tuple[str, Callable[[Dict[str, object]], object]]
+
+
+def _project(
+    rows: Sequence[Dict[str, object]], mapping: Iterable[RowColumn]
+) -> List[Dict[str, object]]:
     """Project engine rows onto a legacy row schema (ordered key -> source)."""
     return [{key: source(row) for key, source in mapping} for row in rows]
 
 
-def _with_seed_column(mapping, seeds) -> list:
+def _with_seed_column(
+    mapping: Iterable[RowColumn], seeds: Sequence[int]
+) -> List[RowColumn]:
     """Prefix the row schema with the seed column on multi-seed sweeps.
 
     Single-seed runs keep the exact legacy schema; a sweep needs the seed in
@@ -213,7 +221,7 @@ def _with_seed_column(mapping, seeds) -> list:
     return [("seed", _col("seed"))] + list(mapping)
 
 
-def _col(name: str):
+def _col(name: str) -> Callable[[Dict[str, object]], object]:
     return lambda row: row[name]
 
 

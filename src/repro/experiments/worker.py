@@ -27,7 +27,7 @@ import pickle
 import sys
 import traceback
 from multiprocessing.managers import BaseManager
-from typing import List, Optional
+from typing import Any, List, Optional
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -50,7 +50,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     _QueueManager.register("get_task_queue")
     _QueueManager.register("get_result_queue")
-    manager = _QueueManager(
+    # Any: get_task_queue/get_result_queue are registered at runtime.
+    manager: Any = _QueueManager(
         address=(args.host, args.port), authkey=authkey_hex.encode("ascii")
     )
     manager.connect()

@@ -27,7 +27,7 @@ traces.  Register additional sources with :func:`register_world`::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..api.registry import Registry, RegistryError
 from ..core.trajectory import MobilityDataset
@@ -51,7 +51,7 @@ WORLDS = Registry("world")
 register_world = WORLDS.register
 
 
-def make_world(spec: str):
+def make_world(spec: str) -> Any:
     """Build a workload from a spec, e.g. ``"crossing:scale=medium,seed=7"``."""
     return WORLDS.create(spec)
 

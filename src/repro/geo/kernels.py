@@ -45,9 +45,14 @@ module importable from anywhere in the library without cycles.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+try:  # numpy >= 1.20 ships typing; fall back for exotic builds
+    from numpy.typing import DTypeLike
+except ImportError:  # pragma: no cover
+    DTypeLike = Any  # type: ignore[assignment, misc]
 
 from .distance import haversine_array, meters_per_degree
 
@@ -506,17 +511,19 @@ class SyncedDistances:
     Wait-For-Me clustering uses; the default keeps full precision.
     """
 
-    def __init__(self, stack: np.ndarray, dtype=np.float64) -> None:
+    def __init__(self, stack: np.ndarray, dtype: DTypeLike = np.float64) -> None:
         self._init_from_planes(stack[:, :, 0], stack[:, :, 1], dtype)
 
     @classmethod
-    def from_planes(cls, xs: np.ndarray, ys: np.ndarray, dtype=np.float64):
+    def from_planes(
+        cls, xs: np.ndarray, ys: np.ndarray, dtype: DTypeLike = np.float64
+    ) -> "SyncedDistances":
         """Build from separate ``(n_users, n_grid)`` coordinate planes."""
         synced = cls.__new__(cls)
         synced._init_from_planes(xs, ys, dtype)
         return synced
 
-    def _init_from_planes(self, xs: np.ndarray, ys: np.ndarray, dtype) -> None:
+    def _init_from_planes(self, xs: np.ndarray, ys: np.ndarray, dtype: DTypeLike) -> None:
         n, n_grid = xs.shape
         self.dtype = np.dtype(dtype)
         self.observed = ~np.isnan(xs)

@@ -1,0 +1,10 @@
+"""Minimal stand-in for api/registry.py used by the R2 fixture tests."""
+
+
+def _convert_value(text):
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text

@@ -1,0 +1,13 @@
+"""Minimal stand-in for experiments/cache.py used by the R2 fixture tests."""
+
+CELL_KEY_FORMAT_VERSION = 1
+
+
+def _canonical(value):
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canonical(v) for v in value) + ")"
+    return repr(value)
+
+
+def serialize_cell_key(key):
+    return f"v{CELL_KEY_FORMAT_VERSION}:" + _canonical(key)

@@ -1,0 +1,21 @@
+"""Minimal stand-in for experiments/engine.py used by the R2 fixture tests."""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    name: str
+    mechanisms: Tuple[str, ...] = ()
+    seeds: Tuple[int, ...] = (0,)
+    input: str = field(default="")
+
+
+def _world_fingerprint(world):
+    return hash(world) & 0xFFFF
+
+
+class EvaluationEngine:
+    def _cell_key(self, spec, seed, mech):
+        return (spec.input, _world_fingerprint(spec.name), seed, mech)

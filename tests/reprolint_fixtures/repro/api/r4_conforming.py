@@ -1,0 +1,30 @@
+"""R4 fixture: clean registrations and resolvable usages."""
+
+import pytest
+
+from repro.api.registry import ATTACKS, make_mechanism, register_attack, register_mechanism
+
+
+@register_mechanism("clean-mech", aliases=("cm",))
+def build_clean_mech(**kwargs):
+    return object()
+
+
+@register_attack("clean-attack")
+def build_clean_attack(**kwargs):
+    return object()
+
+
+def run(label):
+    by_name = make_mechanism("clean-mech:epsilon=0.01")
+    by_alias = make_mechanism("cm")
+    chained = make_mechanism("clean-mech|cm:level=2")
+    created = ATTACKS.create("clean-attack")
+    dynamic = make_mechanism(f"clean-mech:epsilon={label}")  # name is static
+    undecidable = make_mechanism(f"{label}:epsilon=1")  # name interpolated: skipped
+    return by_name, by_alias, chained, created, dynamic, undecidable
+
+
+def test_unknown_rejected():
+    with pytest.raises(ValueError, match="unknown mechanism"):
+        make_mechanism("definitely-not-registered")  # error-path test: skipped

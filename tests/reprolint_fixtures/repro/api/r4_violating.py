@@ -1,0 +1,25 @@
+"""R4 fixture: duplicate/bad registrations and unresolvable spec usages."""
+
+from repro.api.registry import make_attack, make_mechanism, register_mechanism
+
+
+@register_mechanism("fixture-mech", aliases=("fm",))
+def build_fixture_mech(**kwargs):
+    return object()
+
+
+@register_mechanism("fixture-mech")  # duplicate name
+def build_fixture_mech_again(**kwargs):
+    return object()
+
+
+@register_mechanism("Bad:Name")  # reserved character and uppercase
+def build_bad_name(**kwargs):
+    return object()
+
+
+def run():
+    mech = make_mechanism("no-such-mech:epsilon=0.01")  # unregistered
+    chained = make_mechanism("fixture-mech|also-missing")  # bad chain stage
+    attack = make_attack("fixture-mech")  # wrong kind
+    return mech, chained, attack

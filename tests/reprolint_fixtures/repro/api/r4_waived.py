@@ -1,0 +1,12 @@
+"""R4 fixture: a dynamically-registered name, waived at the use site."""
+
+from repro.api.registry import make_mechanism, register_mechanism
+
+
+@register_mechanism("waiver-base")
+def build_base(**kwargs):
+    return object()
+
+
+def run():
+    return make_mechanism("registered-at-runtime")  # repro: allow=R4 -- plugin registers this

@@ -1,0 +1,24 @@
+"""R1 fixture: nothing below may be flagged."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw_noise(n, seed):
+    rng = np.random.default_rng(seed)  # explicitly seeded
+    values = rng.normal(size=n)  # draws from a threaded Generator
+    local = random.Random(seed)  # stdlib RNG, explicitly seeded
+    return values, local.random()
+
+
+def timed_section():
+    start = time.monotonic()  # duration clock, allowed
+    elapsed = time.perf_counter() - start  # duration clock, allowed
+    return elapsed
+
+
+def parse_timestamp(text):
+    return datetime.fromisoformat(text)  # parsing, not a clock read

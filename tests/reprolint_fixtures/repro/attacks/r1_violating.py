@@ -1,0 +1,23 @@
+"""R1 fixture: every call below must be flagged."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw_noise(n):
+    values = np.random.rand(n)  # global numpy RNG
+    np.random.seed(0)  # reseeding the global RNG is still global state
+    legacy = np.random.RandomState(7)  # legacy RNG even when seeded
+    rng = np.random.default_rng()  # entropy-seeded
+    jitter = random.random()  # stdlib ambient RNG
+    machine = random.SystemRandom()  # OS entropy
+    return values, legacy, rng, jitter, machine
+
+
+def stamp_row(row):
+    row["t"] = time.time()  # wall clock
+    row["ts"] = datetime.now()  # wall clock
+    return row

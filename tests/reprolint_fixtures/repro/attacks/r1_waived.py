@@ -1,0 +1,14 @@
+"""R1 fixture: violations carrying waivers — all suppressed."""
+
+import time
+
+import numpy as np
+
+
+def entropy_probe():
+    seed = np.random.default_rng()  # repro: allow=R1 -- deliberate entropy seed
+    return seed
+
+
+def wall_clock_label():  # repro: allow=R1 -- display-only timestamp
+    return time.time()

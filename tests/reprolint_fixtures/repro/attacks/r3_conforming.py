@@ -1,0 +1,36 @@
+"""R3 fixture: columnar batches, oracle functions and reference branches."""
+
+import numpy as np
+
+from repro.geo.distance import haversine, haversine_array
+
+
+def centroid(trajectory):
+    return float(np.mean(trajectory.lats))  # whole-array op, no Python loop
+
+
+def pairwise(trajectory, lat0, lon0):
+    return haversine_array(trajectory.lats, trajectory.lons, lat0, lon0)
+
+
+def _distance_reference(trajectory, lat0, lon0):
+    # Name contains "reference": oracle scope, scalar loop allowed.
+    out = []
+    for i in range(len(trajectory.lats)):
+        out.append(haversine(trajectory.lats[i], trajectory.lons[i], lat0, lon0))
+    return out
+
+
+def _accumulate(trajectory):
+    # Private helper called only from oracle scope: inherits oracle scope.
+    return [haversine(a, b, 0.0, 0.0) for a, b in zip(trajectory.lats, trajectory.lons)]
+
+
+class Extractor:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def extract(self, trajectory):
+        if self.engine == "reference":
+            return _accumulate(trajectory)
+        return pairwise(trajectory, 0.0, 0.0)

@@ -1,0 +1,21 @@
+"""R3 fixture: per-point loops and scalar distances in a hot-path module."""
+
+from repro.geo.distance import haversine
+
+
+def centroid(trajectory):
+    total = 0.0
+    for lat in trajectory.lats:  # per-point loop over a trajectory array
+        total += lat
+    return total / len(trajectory.lats)
+
+
+def pairwise(trajectory, lat0, lon0):
+    out = []
+    for i in range(len(trajectory)):
+        out.append(haversine(trajectory.lats[i], trajectory.lons[i], lat0, lon0))
+    return out
+
+
+def span_sum(trajectory):
+    return sum(t for t in trajectory.timestamps)  # per-point comprehension

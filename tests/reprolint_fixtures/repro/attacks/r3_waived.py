@@ -1,0 +1,7 @@
+"""R3 fixture: a hot scalar loop waived at the def line."""
+
+from repro.geo.distance import haversine
+
+
+def tiny_probe(trajectory):  # repro: allow=R3 -- bounded to <=4 probe points
+    return [haversine(lat, lon, 0.0, 0.0) for lat, lon in zip(trajectory.lats, trajectory.lons)]

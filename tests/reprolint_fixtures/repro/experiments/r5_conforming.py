@@ -1,0 +1,16 @@
+"""R5 fixture: frozen constants and module-level work functions."""
+
+DEFAULT_SPECS = {"identity": "identity"}  # ALL_CAPS: frozen by convention
+_LOOKUP = {"a": 1}  # ALL_CAPS with leading underscore
+
+_threshold = 0.5  # immutable scalar: fine
+
+
+def _evaluate(payload):
+    return payload * 2
+
+
+def run_pool(pool, payloads):
+    mapped = pool.map(_evaluate, payloads)  # module-level def: picklable
+    lazy = map(_evaluate, payloads)  # builtin map: iteration, not distribution
+    return mapped, list(lazy)

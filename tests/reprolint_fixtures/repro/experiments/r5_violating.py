@@ -1,0 +1,17 @@
+"""R5 fixture: module-level mutable state and closure payloads."""
+
+from collections import defaultdict
+
+_result_cache = {}  # mutable module state (not ALL_CAPS)
+pending_rows = []  # mutable module state
+by_user = defaultdict(list)  # mutable factory call
+
+
+def run_pool(pool, payloads, scale):
+    handles = pool.map(lambda p: p * scale, payloads)  # lambda payload
+
+    def work(payload):  # nested def closing over `scale`
+        return payload * scale
+
+    async_handle = pool.apply_async(work, (payloads[0],))
+    return handles, async_handle

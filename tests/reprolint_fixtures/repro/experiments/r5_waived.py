@@ -1,0 +1,3 @@
+"""R5 fixture: a waived in-process-only registry."""
+
+_listeners = []  # repro: allow=R5 -- in-process observer list, never crosses a spawn

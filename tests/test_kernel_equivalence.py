@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.attacks.djcluster import DjCluster, DjClusterConfig
+from repro.attacks.gap_inference import GapInferenceAttack, GapInferenceConfig
 from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
 from repro.attacks.reident import (
     FootprintReidentifier,
@@ -209,6 +210,54 @@ class TestPoiExtractionEquivalence:
             assert vectorized == reference, f"mismatch on {name}"
         parked = _degenerate_datasets()["all-stationary"]["parked"]
         assert len(PoiExtractor().extract(parked)) == 1
+
+
+class TestGapInferenceEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_users=st.integers(min_value=1, max_value=4),
+        n_segments=st.integers(min_value=1, max_value=8),
+        min_gap_s=st.floats(min_value=300.0, max_value=2000.0),
+        reappear_m=st.floats(min_value=100.0, max_value=2000.0),
+        merge_m=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_inferred_pois_identical_to_reference(
+        self, seed, n_users, n_segments, min_gap_s, reappear_m, merge_m
+    ):
+        # _dwell_and_move_dataset injects recording gaps with 0.2 probability
+        # per segment — exactly the structure this attack feeds on.
+        dataset = _dwell_and_move_dataset(seed, n_users, n_segments, interval_s=45.0)
+        base = dict(
+            min_gap_s=min_gap_s,
+            max_reappear_distance_m=reappear_m,
+            merge_distance_m=merge_m,
+        )
+        vectorized = GapInferenceAttack(GapInferenceConfig(**base)).extract_dataset(dataset)
+        reference = GapInferenceAttack(
+            GapInferenceConfig(engine="reference", **base)
+        ).extract_dataset(dataset)
+        assert vectorized == reference  # exact: POIs are frozen dataclasses
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_single_trajectory_identical(self, seed):
+        dataset = _dwell_and_move_dataset(seed, n_users=1, n_segments=8, interval_s=45.0)
+        trajectory = next(iter(dataset))
+        assert GapInferenceAttack().extract(trajectory) == GapInferenceAttack(
+            GapInferenceConfig(engine="reference")
+        ).extract(trajectory)
+
+    def test_degenerate_traces_identical(self):
+        config = dict(min_gap_s=60.0, max_reappear_distance_m=500.0)
+        for name, dataset in _degenerate_datasets().items():
+            vectorized = GapInferenceAttack(
+                GapInferenceConfig(**config)
+            ).extract_dataset(dataset)
+            reference = GapInferenceAttack(
+                GapInferenceConfig(engine="reference", **config)
+            ).extract_dataset(dataset)
+            assert vectorized == reference, f"mismatch on {name}"
 
 
 class TestDjClusterEquivalence:

@@ -1,0 +1,121 @@
+"""The mypy ratchet's compare logic (mypy itself is CI-only, so run_mypy is
+stubbed: these tests pin normalisation, core/non-core splitting, bootstrap
+tolerance, new-error failure and the shrink-only --update)."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, "tools", "mypy_ratchet.py")
+
+
+@pytest.fixture()
+def ratchet(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("mypy_ratchet", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "BASELINE_PATH", str(tmp_path / "mypy-baseline.txt"))
+    return module
+
+
+def _stub_errors(monkeypatch, ratchet, errors):
+    monkeypatch.setattr(ratchet, "run_mypy", lambda paths: (list(errors), 1 if errors else 0))
+
+
+CORE_ERR = 'src/repro/api/registry.py:10: error: Missing return  [return]'
+REST_ERR = 'src/repro/attacks/reident.py:5: error: Bad thing  [misc]'
+REST_ERR2 = 'src/repro/metrics/privacy.py:9: error: Other thing  [arg-type]'
+
+
+class TestNormalise:
+    def test_strips_column_and_backslashes(self, ratchet):
+        line = r"src\repro\core\x.py:12:34: error: boom  [misc]"
+        assert ratchet.normalise(line) == "src/repro/core/x.py:12: error: boom  [misc]"
+
+    def test_keeps_plain_error_lines(self, ratchet):
+        assert ratchet.normalise(CORE_ERR) == CORE_ERR
+
+    def test_rejects_notes_and_summaries(self, ratchet):
+        assert ratchet.normalise("src/x.py:3: note: see docs") is None
+        assert ratchet.normalise("Found 3 errors in 1 file") is None
+        assert ratchet.normalise("") is None
+
+
+class TestSplitCore:
+    def test_partition(self, ratchet):
+        core, rest = ratchet.split_core([CORE_ERR, REST_ERR])
+        assert core == [CORE_ERR]
+        assert rest == [REST_ERR]
+
+    def test_kernels_file_is_core(self, ratchet):
+        core, rest = ratchet.split_core(
+            ["src/repro/geo/kernels.py:1: error: x  [misc]",
+             "src/repro/geo/distance.py:1: error: y  [misc]"]
+        )
+        assert len(core) == 1 and len(rest) == 1
+
+
+class TestMain:
+    def test_clean_run_passes(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [])
+        assert ratchet.main([]) == 0
+        assert "typed core: clean" in capsys.readouterr().out
+
+    def test_core_error_always_fails(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [CORE_ERR])
+        assert ratchet.main([]) == 1
+        assert "the core must stay clean" in capsys.readouterr().out
+
+    def test_bootstrap_tolerates_non_core(self, ratchet, monkeypatch, capsys):
+        # No baseline file at the patched path => bootstrap mode.
+        _stub_errors(monkeypatch, ratchet, [REST_ERR])
+        assert ratchet.main([]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap mode" in out
+        assert REST_ERR in out
+
+    def test_update_pins_baseline_and_arms_ratchet(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [REST_ERR])
+        assert ratchet.main(["--update"]) == 0
+        baseline, bootstrap = ratchet.read_baseline()
+        assert baseline == {REST_ERR}
+        assert not bootstrap
+        # Same errors now pass against the pinned baseline...
+        assert ratchet.main([]) == 0
+        # ...and a new error fails.
+        _stub_errors(monkeypatch, ratchet, [REST_ERR, REST_ERR2])
+        assert ratchet.main([]) == 1
+        assert "NEW non-core error" in capsys.readouterr().out
+
+    def test_fixed_errors_prompt_shrink_but_pass(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [REST_ERR, REST_ERR2])
+        assert ratchet.main(["--update"]) == 0
+        _stub_errors(monkeypatch, ratchet, [REST_ERR])
+        assert ratchet.main([]) == 0
+        assert "no longer occur" in capsys.readouterr().out
+
+    def test_update_refuses_to_grow_without_force(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [REST_ERR])
+        assert ratchet.main(["--update"]) == 0
+        _stub_errors(monkeypatch, ratchet, [REST_ERR, REST_ERR2])
+        assert ratchet.main(["--update"]) == 1
+        assert "refusing to grow" in capsys.readouterr().out
+        assert ratchet.main(["--update", "--force"]) == 0
+        assert ratchet.read_baseline()[0] == {REST_ERR, REST_ERR2}
+
+    def test_update_refuses_while_core_dirty(self, ratchet, monkeypatch, capsys):
+        _stub_errors(monkeypatch, ratchet, [CORE_ERR])
+        assert ratchet.main(["--update"]) == 1
+        assert "refusing to --update" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_parses(self, ratchet, monkeypatch):
+        """The committed baseline must be readable and declare its mode."""
+        real = os.path.join(os.path.dirname(_TOOL), "mypy-baseline.txt")
+        monkeypatch.setattr(ratchet, "BASELINE_PATH", real)
+        entries, bootstrap = ratchet.read_baseline()
+        assert bootstrap or entries is not None

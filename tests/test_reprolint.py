@@ -1,0 +1,310 @@
+"""Tests for the reprolint static analyzer (``repro.analysis``).
+
+Each rule is exercised on three fixture snippets — violating, conforming,
+waived — under ``tests/reprolint_fixtures/`` (that directory is skipped by
+whole-repo scans and only reached by pointing at it explicitly).  The R2
+cache-key rule is tested on a miniature source tree copied into ``tmp_path``
+so contract regeneration never touches the real repository.  A final guard
+runs the full linter over ``src`` and requires zero findings — the same
+gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.cli import main as cli_main
+from repro.analysis.findings import Finding, format_findings
+from repro.analysis.index import ModuleIndex
+from repro.analysis.rules.cache_key import CONTRACT_BASENAME, write_contract
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "reprolint_fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+def findings_for(path: str, rule: str):
+    return [f for f in run_analysis([path]) if f.rule == rule]
+
+
+# ---------------------------------------------------------------- R1 determinism
+
+
+class TestDeterminismRule:
+    def test_violating_fixture_flags_every_entropy_and_clock_call(self):
+        found = findings_for(fixture("repro", "attacks", "r1_violating.py"), "R1")
+        lines = sorted(f.line for f in found)
+        assert len(found) == 8
+        messages = " | ".join(f.message for f in found)
+        assert "global numpy RNG" in messages
+        assert "RandomState" in messages
+        assert "without a seed" in messages
+        assert "ambient global RNG" in messages
+        assert "OS entropy" in messages
+        assert "wall clock" in messages
+        assert lines == sorted(set(lines)), "one finding per call site"
+
+    def test_conforming_fixture_is_clean(self):
+        assert findings_for(fixture("repro", "attacks", "r1_conforming.py"), "R1") == []
+
+    def test_waived_fixture_is_suppressed(self):
+        assert findings_for(fixture("repro", "attacks", "r1_waived.py"), "R1") == []
+
+    def test_scope_is_limited_to_cell_computation_modules(self, tmp_path):
+        # The same violating source outside a target path yields nothing.
+        src = open(fixture("repro", "attacks", "r1_violating.py")).read()
+        other = tmp_path / "repro" / "io" / "loader.py"
+        other.parent.mkdir(parents=True)
+        other.write_text(src)
+        assert findings_for(str(other), "R1") == []
+
+
+# ------------------------------------------------------------ R3 columnar discipline
+
+
+class TestColumnarRule:
+    def test_violating_fixture_flags_loops_and_scalar_distance(self):
+        found = findings_for(fixture("repro", "attacks", "r3_violating.py"), "R3")
+        messages = [f.message for f in found]
+        assert any("per-point loop" in m for m in messages)
+        assert any("scalar haversine()" in m for m in messages)
+        assert len(found) == 3
+
+    def test_conforming_fixture_is_clean(self):
+        # Includes a named oracle, a private helper reachable only from a
+        # reference branch, and batched haversine_array calls.
+        assert findings_for(fixture("repro", "attacks", "r3_conforming.py"), "R3") == []
+
+    def test_def_line_waiver_suppresses_body_findings(self):
+        assert findings_for(fixture("repro", "attacks", "r3_waived.py"), "R3") == []
+
+
+# ------------------------------------------------------------ R4 registry integrity
+
+
+class TestRegistryRule:
+    def test_violating_fixture(self):
+        found = [
+            f
+            for f in run_analysis([fixture("repro", "api")])
+            if f.rule == "R4" and f.path.endswith("r4_violating.py")
+        ]
+        messages = " | ".join(f.message for f in found)
+        assert "registered twice" in messages
+        assert "not spec-grammar-parseable" in messages
+        assert "no-such-mech" in messages and "unregistered mechanism" in messages
+        assert "'also-missing'" in messages, "each |-chain stage checked"
+        assert "unregistered attack" in messages, "kind mismatch caught"
+
+    def test_conforming_and_waived_fixtures_are_clean(self):
+        found = [
+            f
+            for f in run_analysis([fixture("repro", "api")])
+            if f.rule == "R4"
+            and (f.path.endswith("r4_conforming.py") or f.path.endswith("r4_waived.py"))
+        ]
+        assert found == []
+
+    def test_unknown_kind_with_no_registrations_is_skipped(self, tmp_path):
+        # A tree that never registers metrics must not flag metric usages.
+        mod = tmp_path / "repro" / "runner.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("from repro.api.registry import make_metric\nm = make_metric('x')\n")
+        assert findings_for(str(mod), "R4") == []
+
+
+# ---------------------------------------------------------------- R5 spawn safety
+
+
+class TestSpawnSafetyRule:
+    def test_violating_fixture(self):
+        found = findings_for(fixture("repro", "experiments", "r5_violating.py"), "R5")
+        messages = " | ".join(f.message for f in found)
+        assert "'_result_cache'" in messages
+        assert "'pending_rows'" in messages
+        assert "'by_user'" in messages
+        assert "lambda passed to .map()" in messages
+        assert "nested function 'work'" in messages
+        assert len(found) == 5
+
+    def test_conforming_fixture_is_clean(self):
+        assert findings_for(fixture("repro", "experiments", "r5_conforming.py"), "R5") == []
+
+    def test_waived_fixture_is_suppressed(self):
+        assert findings_for(fixture("repro", "experiments", "r5_waived.py"), "R5") == []
+
+
+# ---------------------------------------------------------------- R2 cache-key drift
+
+
+@pytest.fixture()
+def cachekey_tree(tmp_path):
+    """A throwaway copy of the miniature cache-key source tree."""
+    root = tmp_path / "tree"
+    shutil.copytree(fixture("cachekey"), root)
+    return root
+
+
+def r2_findings(root):
+    return [f for f in run_analysis([str(root)]) if f.rule == "R2"]
+
+
+class TestCacheKeyRule:
+    def test_missing_contract_is_a_finding(self, cachekey_tree):
+        found = r2_findings(cachekey_tree)
+        assert len(found) == 1
+        assert "missing cache-key contract" in found[0].message
+
+    def test_fresh_contract_is_clean(self, cachekey_tree):
+        path = write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        assert path is not None and path.endswith(CONTRACT_BASENAME)
+        assert r2_findings(cachekey_tree) == []
+
+    def test_new_spec_field_without_bump_is_flagged(self, cachekey_tree):
+        write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        engine = cachekey_tree / "repro" / "experiments" / "engine.py"
+        engine.write_text(
+            engine.read_text().replace(
+                "    input: str", "    variant: str = \"a\"\n    input: str"
+            )
+        )
+        found = r2_findings(cachekey_tree)
+        assert any(
+            "field set changed" in f.message and "added: variant" in f.message
+            for f in found
+        )
+
+    def test_serializer_edit_without_bump_is_flagged(self, cachekey_tree):
+        write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        cache = cachekey_tree / "repro" / "experiments" / "cache.py"
+        cache.write_text(cache.read_text().replace('","', '";"'))
+        found = r2_findings(cachekey_tree)
+        assert any("_canonical() changed" in f.message for f in found)
+
+    def test_docstring_edit_does_not_trip_fingerprints(self, cachekey_tree):
+        write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        cache = cachekey_tree / "repro" / "experiments" / "cache.py"
+        cache.write_text(
+            cache.read_text().replace(
+                "used by the R2 fixture tests", "reworded documentation"
+            )
+        )
+        assert r2_findings(cachekey_tree) == []
+
+    def test_version_bump_without_regeneration_is_flagged(self, cachekey_tree):
+        write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        cache = cachekey_tree / "repro" / "experiments" / "cache.py"
+        cache.write_text(
+            cache.read_text().replace(
+                "CELL_KEY_FORMAT_VERSION = 1", "CELL_KEY_FORMAT_VERSION = 2"
+            )
+        )
+        found = r2_findings(cachekey_tree)
+        assert any("contract records" in f.message for f in found)
+
+    def test_bump_plus_regeneration_is_clean(self, cachekey_tree):
+        cache = cachekey_tree / "repro" / "experiments" / "cache.py"
+        cache.write_text(
+            cache.read_text().replace(
+                "CELL_KEY_FORMAT_VERSION = 1", "CELL_KEY_FORMAT_VERSION = 2"
+            )
+        )
+        write_contract(ModuleIndex.from_paths([str(cachekey_tree)]))
+        assert r2_findings(cachekey_tree) == []
+
+
+# -------------------------------------------------------------------- index / CLI
+
+
+class TestIndexAndCli:
+    def test_parse_failure_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        found = run_analysis([str(bad)])
+        assert len(found) == 1 and found[0].rule == "parse"
+
+    def test_fixture_dirs_are_skipped_in_recursive_scans(self):
+        index = ModuleIndex.from_paths([os.path.join(REPO_ROOT, "tests")])
+        assert not any("reprolint_fixtures" in m.logical for m in index.modules)
+
+    def test_waiver_allows_multiple_rules(self, tmp_path):
+        mod = tmp_path / "repro" / "attacks" / "multi.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow=R1,R3 -- fixture\n"
+        )
+        assert findings_for(str(mod), "R1") == []
+
+    def test_cli_exit_codes_and_json(self, capsys):
+        violating = fixture("repro", "attacks", "r1_violating.py")
+        assert cli_main([violating, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] > 0
+        assert {"rule", "path", "line", "message", "hint"} <= set(payload["findings"][0])
+
+        clean = fixture("repro", "attacks", "r1_conforming.py")
+        assert cli_main([clean]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_rule_selection(self, capsys):
+        violating = fixture("repro", "attacks", "r1_violating.py")
+        assert cli_main([violating, "--rules", "R3"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([violating, "--rules", "R9"])
+        assert excinfo.value.code == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule_id in out
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        )
+        assert result.returncode == 0
+        assert "R1" in result.stdout
+
+    def test_format_findings_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            format_findings([], "yaml")
+
+    def test_finding_text_render(self):
+        f = Finding(rule="R1", path="a.py", line=3, message="boom", hint="fix it")
+        text = f.render_text()
+        assert "a.py:3: R1 boom" in text and "fix it" in text
+
+
+# ------------------------------------------------------------------ the real gate
+
+
+class TestRepositoryIsClean:
+    def test_src_has_no_findings(self):
+        found = run_analysis([os.path.join(REPO_ROOT, "src")])
+        assert found == [], "\n" + format_findings(found)
+
+    def test_tests_and_benchmarks_have_no_findings(self):
+        paths = [
+            os.path.join(REPO_ROOT, "tests"),
+            os.path.join(REPO_ROOT, "benchmarks"),
+        ]
+        found = run_analysis([p for p in paths if os.path.isdir(p)])
+        assert found == [], "\n" + format_findings(found)

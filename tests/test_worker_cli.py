@@ -1,0 +1,283 @@
+"""Worker CLI argument/env handling and backend_check failure paths.
+
+The happy paths — real worker subprocesses evaluating real payloads — are
+covered end-to-end by ``tests/test_backends.py`` and the CI equivalence job.
+This module pins the edges around them: the worker's argparse surface, the
+missing-authkey exit, the claim/done/error queue protocol (against a
+manager server hosted in a test thread), and every ``backend_check`` branch
+that returns non-zero.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+
+import pytest
+
+from repro.experiments import backend_check, worker
+from repro.experiments.backends import (
+    AUTHKEY_ENV,
+    CRASH_ENV,
+    MultiprocessingBackend,
+    SerialBackend,
+    WorkQueueBackend,
+)
+
+_AUTHKEY = "test-worker-authkey"
+
+
+@pytest.fixture()
+def queue_server(monkeypatch):
+    """A live queue-manager server in a daemon thread, env authkey set.
+
+    Yields ``(host, port, task_queue, result_queue)`` — the queues are the
+    real local objects, so tests can seed tasks and inspect results without
+    going through proxies themselves.
+    """
+    from multiprocessing.managers import BaseManager
+
+    tasks: "queue.Queue" = queue.Queue()
+    results: "queue.Queue" = queue.Queue()
+    # A fresh subclass per test keeps the registry from leaking across tests.
+    manager_cls = type("_TestQueueManager", (BaseManager,), {})
+    manager_cls.register("get_task_queue", callable=lambda: tasks)
+    manager_cls.register("get_result_queue", callable=lambda: results)
+    manager = manager_cls(
+        address=("127.0.0.1", 0), authkey=_AUTHKEY.encode("ascii")
+    )
+    server = manager.get_server()
+
+    def _serve():
+        try:
+            server.serve_forever()
+        except SystemExit:  # serve_forever exits via sys.exit on stop_event
+            pass
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    monkeypatch.setenv(AUTHKEY_ENV, _AUTHKEY)
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    host, port = server.address
+    yield host, port, tasks, results
+    stop = getattr(server, "stop_event", None)
+    if stop is not None:
+        stop.set()
+
+
+def _worker_argv(host: str, port: int, rank: int = 3):
+    return ["--host", host, "--port", str(port), "--rank", str(rank)]
+
+
+class TestWorkerArgs:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            [],
+            ["--host", "127.0.0.1"],
+            ["--host", "127.0.0.1", "--port", "1"],
+            ["--port", "1", "--rank", "0"],
+        ],
+    )
+    def test_missing_required_args_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            worker.main(argv)
+        assert excinfo.value.code == 2
+        assert "required" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("field", ["--port", "--rank"])
+    def test_non_integer_values_rejected(self, field, capsys):
+        argv = ["--host", "h", "--port", "1", "--rank", "0"]
+        argv[argv.index(field) + 1] = "not-a-number"
+        with pytest.raises(SystemExit) as excinfo:
+            worker.main(argv)
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_missing_authkey_is_exit_2_not_a_crash(self, monkeypatch, capsys):
+        """Without the env authkey the worker must refuse to even connect."""
+        monkeypatch.delenv(AUTHKEY_ENV, raising=False)
+        assert worker.main(_worker_argv("127.0.0.1", 1, rank=7)) == 2
+        err = capsys.readouterr().err
+        assert "worker 7" in err
+        assert AUTHKEY_ENV in err
+
+
+class TestWorkerProtocol:
+    def test_shutdown_sentinel_returns_zero(self, queue_server):
+        host, port, tasks, results = queue_server
+        tasks.put(None)
+        assert worker.main(_worker_argv(host, port)) == 0
+        assert results.empty()
+
+    def test_task_is_claimed_then_done(self, queue_server, monkeypatch):
+        host, port, tasks, results = queue_server
+        rows = [(0, {"metric": 1.0}), (1, {"metric": 2.0})]
+        seen = []
+
+        def fake_evaluate(payload):
+            seen.append(payload)
+            return rows
+
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_evaluate_group", fake_evaluate)
+        tasks.put((5, pickle.dumps("group-payload")))
+        tasks.put(None)
+        assert worker.main(_worker_argv(host, port, rank=2)) == 0
+        assert seen == ["group-payload"]
+        assert results.get_nowait() == ("claim", 5, 2)
+        assert results.get_nowait() == ("done", 5, 2, rows)
+        assert results.empty()
+
+    def test_bad_payload_reports_error_and_exits_1(self, queue_server):
+        host, port, tasks, results = queue_server
+        tasks.put((9, b"definitely not a pickle"))
+        assert worker.main(_worker_argv(host, port, rank=4)) == 1
+        assert results.get_nowait() == ("claim", 9, 4)
+        kind, task_id, rank, tb = results.get_nowait()
+        assert (kind, task_id, rank) == ("error", 9, 4)
+        assert "Traceback" in tb
+
+    def test_evaluation_exception_carries_traceback(self, queue_server, monkeypatch):
+        host, port, tasks, results = queue_server
+
+        def boom(payload):
+            raise ValueError("injected evaluation failure")
+
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_evaluate_group", boom)
+        tasks.put((1, pickle.dumps("payload")))
+        assert worker.main(_worker_argv(host, port, rank=0)) == 1
+        assert results.get_nowait() == ("claim", 1, 0)
+        kind, _, _, tb = results.get_nowait()
+        assert kind == "error"
+        assert "injected evaluation failure" in tb
+
+
+class TestBackendCheckArgs:
+    def test_mode_is_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            backend_check.main([])
+        assert excinfo.value.code == 2
+
+    def test_cache_mode_requires_file_and_expect(self, capsys):
+        for argv in (
+            ["cache", "--expect", "cold"],
+            ["cache", "--cache-file", "x.sqlite"],
+            ["cache", "--cache-file", "x.sqlite", "--expect", "lukewarm"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                backend_check.main(argv)
+            assert excinfo.value.code == 2
+
+    def test_check_spec_shape(self):
+        spec = backend_check.check_spec()
+        assert len(spec.mechanisms) == 3
+        assert len(spec.metrics) == 2
+        assert spec.seeds == [0, 1]
+
+
+class TestRowsIdentical:
+    def test_identical_rows_pass(self, capsys):
+        assert backend_check._rows_identical([{"a": 1}], [{"a": 1}], "mp")
+        assert "ok   mp: 1 rows identical" in capsys.readouterr().out
+
+    def test_differing_row_is_printed(self, capsys):
+        rows = [{"a": 1}, {"a": 2}]
+        assert not backend_check._rows_identical(rows, [{"a": 1}, {"a": 99}], "wq")
+        out = capsys.readouterr().out
+        assert "FAIL wq" in out
+        assert "first differing row 1" in out
+
+    def test_row_count_mismatch_is_printed(self, capsys):
+        assert not backend_check._rows_identical([{"a": 1}, {"a": 2}], [{"a": 1}], "wq")
+        assert "row counts differ: serial 2 vs wq 1" in capsys.readouterr().out
+
+
+class _FakeEngine:
+    """Stands in for EvaluationEngine: rows per backend, no processes."""
+
+    rows_for = {}
+
+    def __init__(self, backend=None, cache=None):
+        self.backend = backend
+
+    def run(self, spec):
+        backend = self.backend
+        if getattr(backend, "fault_injection", None) and _FakeEngine.crash_stats:
+            backend.last_stats = dict(_FakeEngine.crash_stats)
+        return list(_FakeEngine.rows_for[type(backend)])
+
+
+class TestEquivalenceFailurePaths:
+    """run_equivalence's counting logic, with the engine stubbed out — the
+    real multi-process happy path runs in test_backends.py and CI."""
+
+    def _patch(self, monkeypatch, wq_rows, crash_stats):
+        base = [{"cell": 0}, {"cell": 1}]
+        _FakeEngine.rows_for = {
+            SerialBackend: base,
+            MultiprocessingBackend: list(base),
+            WorkQueueBackend: wq_rows,
+        }
+        _FakeEngine.crash_stats = crash_stats
+        monkeypatch.setattr(backend_check, "EvaluationEngine", _FakeEngine)
+
+    def test_all_identical_with_crash_stats_passes(self, monkeypatch, capsys):
+        self._patch(
+            monkeypatch,
+            wq_rows=[{"cell": 0}, {"cell": 1}],
+            crash_stats={"workers_crashed": 1, "requeues": 1},
+        )
+        assert backend_check.run_equivalence("tiny", workers=2, timeout_s=1.0) == 0
+        out = capsys.readouterr().out
+        assert "3/3 backends produced identical rows" in out
+        assert "killed-worker requeue exercised" in out
+
+    def test_row_mismatch_fails(self, monkeypatch, capsys):
+        self._patch(
+            monkeypatch,
+            wq_rows=[{"cell": 0}, {"cell": 99}],
+            crash_stats={"workers_crashed": 1, "requeues": 1},
+        )
+        assert backend_check.run_equivalence("tiny", workers=2, timeout_s=1.0) == 1
+        out = capsys.readouterr().out
+        assert "FAIL work-queue" in out
+
+    def test_missing_crash_stats_fail_even_with_identical_rows(
+        self, monkeypatch, capsys
+    ):
+        """Identical rows are not enough: the crash run must actually have
+        crashed and requeued, else the recovery path went unexercised."""
+        self._patch(
+            monkeypatch,
+            wq_rows=[{"cell": 0}, {"cell": 1}],
+            crash_stats=None,  # leaves last_stats = {}
+        )
+        assert backend_check.run_equivalence("tiny", workers=2, timeout_s=1.0) == 1
+        out = capsys.readouterr().out
+        assert "expected at least one crash and one requeue" in out
+
+
+class TestCacheCheckPaths:
+    def test_cold_warm_then_stale_cold(self, tmp_path, capsys):
+        """One persistent file across three invocations: a fresh file is
+        cold (0), the same file is warm (0), and claiming it is *still* cold
+        must fail — the hits prove persistence."""
+        cache_file = str(tmp_path / "cells.sqlite")
+        assert backend_check.main(["cache", "--cache-file", cache_file, "--expect", "cold"]) == 0
+        assert backend_check.main(["cache", "--cache-file", cache_file, "--expect", "warm"]) == 0
+        assert backend_check.main(["cache", "--cache-file", cache_file, "--expect", "cold"]) == 1
+        out = capsys.readouterr().out
+        assert "ok   cold run matched" in out
+        assert "ok   warm run matched" in out
+        assert "FAIL: cold run expected 0 hits" in out
+
+    def test_warm_on_fresh_cache_fails(self, tmp_path, capsys):
+        assert backend_check.main(
+            ["cache", "--cache-file", str(tmp_path / "fresh.sqlite"), "--expect", "warm"]
+        ) == 1
+        assert "FAIL: warm run expected 100% hits" in capsys.readouterr().out

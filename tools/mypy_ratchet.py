@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Run mypy with a hard-clean typed core and a ratcheted baseline elsewhere.
+
+The repo's typing gate has two tiers:
+
+* **Typed core** (``repro/api``, ``repro/experiments``, ``repro/geo/kernels``)
+  — strict per-module overrides live in ``pyproject.toml`` and every error is
+  a failure, always.
+* **Everything else** — errors are compared against the committed baseline
+  ``tools/mypy-baseline.txt``.  New errors fail; errors that disappeared are
+  reported so the baseline can shrink (run ``--update``).  The baseline only
+  ratchets down: ``--update`` refuses to record *more* errors than it
+  already holds unless ``--force`` is given.
+
+The baseline may carry a ``# mode: bootstrap`` marker (its initial committed
+state, created where mypy was unavailable).  In bootstrap mode non-core
+errors are *printed but tolerated*; the first CI-adjacent environment with
+mypy should run ``python tools/mypy_ratchet.py --update`` and commit the
+pinned baseline, which arms the ratchet.
+
+Error lines are normalised (paths made repo-relative, column numbers
+dropped) so the baseline is stable across machines and mypy point releases.
+
+Exit status: 0 clean/tolerated, 1 typed-core or new non-core errors,
+2 usage/environment problems (mypy missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from typing import List, Sequence, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "mypy-baseline.txt")
+BOOTSTRAP_MARKER = "# mode: bootstrap"
+
+#: Repo-relative prefixes of the strict typed core (kept in sync with the
+#: [[tool.mypy.overrides]] module list in pyproject.toml).
+TYPED_CORE_PREFIXES = (
+    "src/repro/api/",
+    "src/repro/experiments/",
+    "src/repro/geo/kernels.py",
+)
+
+#: ``path:line: severity: message  [code]`` — the shape of a mypy error line
+#: under ``--no-error-summary --no-pretty``.
+_ERROR_RE = re.compile(r"^(?P<path>[^:\n]+):(?P<line>\d+)(?::\d+)?: (?P<rest>error: .*)$")
+
+
+def run_mypy(paths: Sequence[str]) -> Tuple[List[str], int]:
+    """Normalised mypy error lines for ``paths`` plus the raw exit status."""
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--no-error-summary",
+        "--no-pretty",
+        *paths,
+    ]
+    try:
+        proc = subprocess.run(
+            command, cwd=REPO_ROOT, capture_output=True, text=True, check=False
+        )
+    except FileNotFoundError:  # pragma: no cover - interpreter always exists
+        print("mypy_ratchet: could not launch python -m mypy", file=sys.stderr)
+        raise SystemExit(2)
+    if "No module named mypy" in proc.stderr:
+        print(
+            "mypy_ratchet: mypy is not installed in this environment "
+            "(it is a CI-only dependency: pip install mypy)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    errors = []
+    for line in proc.stdout.splitlines():
+        normalised = normalise(line)
+        if normalised is not None:
+            errors.append(normalised)
+    return errors, proc.returncode
+
+
+def normalise(line: str) -> "str | None":
+    """A baseline-stable form of one mypy output line (None if not an error)."""
+    match = _ERROR_RE.match(line.strip())
+    if match is None:
+        return None
+    path = match.group("path").replace("\\", "/")
+    if path.startswith("./"):
+        path = path[2:]
+    return f"{path}:{match.group('line')}: {match.group('rest')}"
+
+
+def split_core(errors: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Partition error lines into (typed-core, everything-else)."""
+    core, rest = [], []
+    for error in errors:
+        path = error.split(":", 1)[0]
+        (core if path.startswith(TYPED_CORE_PREFIXES) else rest).append(error)
+    return core, rest
+
+
+def read_baseline() -> Tuple[Set[str], bool]:
+    """The recorded non-core error set and whether it is in bootstrap mode."""
+    if not os.path.exists(BASELINE_PATH):
+        return set(), True
+    bootstrap = False
+    entries: Set[str] = set()
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if line.strip() == BOOTSTRAP_MARKER:
+                bootstrap = True
+            elif line and not line.startswith("#"):
+                entries.add(line)
+    return entries, bootstrap
+
+
+def write_baseline(errors: Sequence[str]) -> None:
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# mypy baseline for code outside the strict typed core.\n"
+            "# Maintained by tools/mypy_ratchet.py; regenerate with --update.\n"
+            "# The ratchet only goes down: fix an error, shrink this file.\n"
+        )
+        for error in sorted(errors):
+            handle.write(error + "\n")
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/mypy_ratchet.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="paths handed to mypy (default: src)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="pin the current non-core errors as the new baseline",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --update to grow the baseline (normally it only shrinks)",
+    )
+    args = parser.parse_args(argv)
+
+    errors, _status = run_mypy(args.paths)
+    core_errors, rest_errors = split_core(errors)
+    baseline, bootstrap = read_baseline()
+
+    failed = False
+    if core_errors:
+        failed = True
+        print(f"typed core: {len(core_errors)} error(s) — the core must stay clean:")
+        for error in core_errors:
+            print(f"  {error}")
+    else:
+        print("typed core: clean")
+
+    if args.update:
+        if core_errors:
+            print("refusing to --update while the typed core has errors")
+            return 1
+        if not bootstrap and len(rest_errors) > len(baseline) and not args.force:
+            print(
+                f"refusing to grow the baseline ({len(baseline)} -> "
+                f"{len(rest_errors)} errors); fix the new errors or pass --force"
+            )
+            return 1
+        write_baseline(rest_errors)
+        print(f"baseline: pinned {len(rest_errors)} error(s) to {BASELINE_PATH}")
+        return 0
+
+    new = sorted(set(rest_errors) - baseline)
+    fixed = sorted(baseline - set(rest_errors))
+    if bootstrap:
+        print(
+            f"baseline: bootstrap mode — {len(rest_errors)} non-core error(s) "
+            "tolerated; pin them with: python tools/mypy_ratchet.py --update"
+        )
+        for error in rest_errors:
+            print(f"  {error}")
+    else:
+        if new:
+            failed = True
+            print(f"baseline: {len(new)} NEW non-core error(s):")
+            for error in new:
+                print(f"  {error}")
+        if fixed:
+            print(
+                f"baseline: {len(fixed)} recorded error(s) no longer occur — "
+                "shrink the baseline with --update:"
+            )
+            for error in fixed:
+                print(f"  {error}")
+        if not new:
+            print(f"baseline: ok ({len(baseline)} recorded, none new)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
