@@ -9,12 +9,15 @@ throughput does not collapse with size (the pipeline is near-linear).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.pipeline import Anonymizer
 from repro.core.speed_smoothing import SpeedSmoother
 from repro.datagen.mobility import generate_world
 from repro.experiments.formatting import format_table
+from repro.io.world_store import WorldStore
 
 
 @pytest.fixture(scope="module")
@@ -49,3 +52,68 @@ def test_e7_smoothing_only_throughput(benchmark, sized_worlds):
     smoother = SpeedSmoother()
     published = benchmark.pedantic(lambda: smoother.smooth_dataset(world.dataset), rounds=3, iterations=1)
     assert published.n_points > 0
+
+
+def test_e7_out_of_core_throughput(
+    sized_worlds, tmp_path_factory, bench_artifact, evaluation_scale
+):
+    """The full pipeline on a memmap-backed world, versus the in-memory one.
+
+    The out-of-core case of the scalability figure: the input dataset never
+    lives in memory (zero-copy views over the store's columns), and
+    throughput must stay within the same order of magnitude as the in-memory
+    run.  Also records both timings in ``BENCH_e7_scalability.json``.
+    """
+    world = sized_worlds[50]
+    store = WorldStore.write(
+        world.dataset, tmp_path_factory.mktemp("e7-store") / "world"
+    )
+
+    def best_of(fn, repeats=3):
+        result, best = None, float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    (published_memory, _), memory_s = best_of(
+        lambda: Anonymizer().publish(world.dataset)
+    )
+    (published_store, _), store_s = best_of(
+        lambda: Anonymizer().publish(store.dataset())
+    )
+    assert published_store.n_points == published_memory.n_points
+
+    n_points = world.dataset.n_points
+    timings = {
+        "pipeline_memory": {
+            "wall_s": memory_s,
+            "points_per_s": n_points / memory_s if memory_s > 0 else None,
+        },
+        "pipeline_store": {
+            "wall_s": store_s,
+            "points_per_s": n_points / store_s if store_s > 0 else None,
+        },
+    }
+    rows = [
+        {"cell": cell, "wall_s": values["wall_s"], "points_per_s": values["points_per_s"]}
+        for cell, values in timings.items()
+    ]
+    artifact = bench_artifact(
+        "e7_scalability",
+        timings=timings,
+        rows=rows,
+        extra={"workload": {"n_users": 50, "n_points": n_points}},
+    )
+    print()
+    print(
+        format_table(
+            ["cell", "wall_s", "points_per_s"],
+            [[r["cell"], r["wall_s"], r["points_per_s"]] for r in rows],
+            title=f"E7 - out-of-core pipeline (artifact: {artifact})",
+        )
+    )
+    assert store_s < max(memory_s, 1e-9) * 10.0, (
+        "the memmap-backed pipeline must stay within 10x of the in-memory run"
+    )

@@ -1,0 +1,162 @@
+"""Out-of-core world tier benchmark: streamed generation, mmap open, engine.
+
+The world store exists so that large worlds are generated once, memory-mapped
+thereafter, and shipped to scheduler-backend workers as a path instead of a
+pickled dataset.  This bench measures each leg of that claim:
+
+- ``generate_store``: streamed synthetic generation straight into the on-disk
+  artifact (bounded memory — one user in flight at a time);
+- ``generate_memory``: the in-memory rebuild the artifact makes unnecessary;
+- ``open_store``: re-opening the artifact and touching its columns (the mmap
+  path every later session and every worker takes);
+- ``engine_memory`` / ``engine_store`` / ``engine_store_workers``: one small
+  spec evaluated over the in-memory world, the memmap-backed world, and the
+  memmap-backed world under the work-queue backend (workers re-open the
+  artifact by path).
+
+The rows of the store-backed runs are asserted identical to the in-memory
+run — the bench doubles as a large-scale equivalence check — and the pickle
+sizes recorded in the artifact are the no-per-worker-dataset-pickling
+evidence.  Scales are deliberately larger than ``WORKLOAD_SCALES``: ``large``
+produces more than ten times the points of the standard ``medium`` workload.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.datagen.mobility import generate_world, generate_world_store
+from repro.experiments.engine import EvaluationEngine, ExperimentSpec
+from repro.experiments.formatting import format_table
+from repro.experiments.worlds import RealWorld, StoreWorld
+from repro.io.world_store import WorldStore
+
+#: Users x days per scale (bigger than the standard workload scales — the
+#: store tier targets worlds that are annoying to regenerate or hold in RAM).
+STORE_SCALES = {
+    "tiny": (4, 2),
+    "small": (40, 7),
+    "medium": (160, 7),
+    "large": (800, 7),
+}
+
+#: Point floor for the committed large artifact: ten times the standard
+#: ``medium`` workload (40 users x 7 days = 114,983 points).
+LARGE_FLOOR_POINTS = 10 * 114_983
+
+
+def _best_of(fn, repeats: int = 3):
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_store_io(tmp_path_factory, bench_artifact, evaluation_scale):
+    n_users, n_days = STORE_SCALES[evaluation_scale]
+    path = tmp_path_factory.mktemp("store-bench") / "world"
+
+    start = time.perf_counter()
+    store = generate_world_store(path, n_users=n_users, n_days=n_days, seed=42)
+    generate_store_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    world = generate_world(n_users=n_users, n_days=n_days, seed=42)
+    generate_memory_s = time.perf_counter() - start
+    n_points = store.n_points
+    assert n_points == world.dataset.n_points
+    if evaluation_scale == "large":
+        assert n_points >= LARGE_FLOOR_POINTS
+
+    def open_store():
+        columnar = WorldStore.open(path).dataset().columnar()
+        return float(columnar.lats[-1]) if columnar.lats.size else 0.0
+
+    _, open_store_s = _best_of(open_store)
+
+    store_world = StoreWorld(str(path))
+    memory_world = RealWorld("memory", world.dataset)
+    store_world_bytes = len(pickle.dumps(store_world))
+    dataset_bytes = len(pickle.dumps(world.dataset))
+    assert store_world_bytes < 1024, "store worlds must pickle as a path"
+
+    spec = ExperimentSpec(
+        name="store-io",
+        mechanisms=["identity", "downsampling:factor=5"],
+        metrics=["point-retention"],
+        worlds=["w"],
+        seeds=[0],
+    )
+
+    def run_engine(target_world, backend=None):
+        engine = EvaluationEngine(backend=backend, cache=False)
+        return engine.run(spec, worlds={"w": target_world})
+
+    start = time.perf_counter()
+    memory_rows = run_engine(memory_world)
+    engine_memory_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    store_rows = run_engine(store_world)
+    engine_store_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    worker_rows = run_engine(store_world, backend="work-queue:workers=2")
+    engine_store_workers_s = time.perf_counter() - start
+
+    assert store_rows == memory_rows, "memmap-backed rows must match in-memory rows"
+    assert worker_rows == memory_rows, "worker rows must match in-memory rows"
+
+    timings = {
+        "generate_store": {
+            "wall_s": generate_store_s,
+            "points_per_s": n_points / generate_store_s if generate_store_s > 0 else None,
+        },
+        "generate_memory": {
+            "wall_s": generate_memory_s,
+            "points_per_s": n_points / generate_memory_s if generate_memory_s > 0 else None,
+        },
+        "open_store": {
+            "wall_s": open_store_s,
+            "points_per_s": n_points / open_store_s if open_store_s > 0 else None,
+            "speedup_vs_rebuild": (
+                generate_memory_s / open_store_s if open_store_s > 0 else None
+            ),
+        },
+        "engine_memory": {"wall_s": engine_memory_s},
+        "engine_store": {"wall_s": engine_store_s},
+        "engine_store_workers": {"wall_s": engine_store_workers_s},
+    }
+    rows = [
+        {"cell": cell, "wall_s": values["wall_s"]} for cell, values in timings.items()
+    ]
+    artifact = bench_artifact(
+        "store_io",
+        timings=timings,
+        rows=rows,
+        extra={
+            "workload": {"n_users": n_users, "n_days": n_days, "n_points": n_points},
+            "payload_bytes": {
+                "store_world_pickle": store_world_bytes,
+                "in_memory_dataset_pickle": dataset_bytes,
+            },
+        },
+    )
+    print()
+    print(
+        format_table(
+            ["cell", "wall_s"],
+            [[r["cell"], r["wall_s"]] for r in rows],
+            title=(
+                f"Store I/O at scale={evaluation_scale} "
+                f"({n_users} users / {n_points} points; artifact: {artifact})"
+            ),
+        )
+    )
+    print(
+        f"store world pickles to {store_world_bytes} bytes "
+        f"(in-memory dataset: {dataset_bytes})"
+    )

@@ -104,28 +104,68 @@ class DjCluster:
 
         The vectorized engine computes the stationary pre-filter as one
         masked speed pass over the dataset's cached columnar view, then
-        clusters each user's stationary fixes; the reference engine walks
+        clusters every user's stationary fixes in a single dataset-wide
+        clique pass keyed by ``(user, cell)``; the reference engine walks
         trajectories one by one.
         """
         if self.config.engine == "reference":
             return {traj.user_id: self.extract(traj) for traj in dataset}
         traces = dataset.columnar()
+        out: Dict[str, List[ExtractedPoi]] = {uid: [] for uid in traces.user_ids}
+        if traces.n_points == 0:
+            return out
         stationary = self._stationary_mask_columnar(traces)
-        # One clustering pass per user: per-user joins stay cache-sized, and
-        # the clique grid means a dense stay costs one cell label rather
-        # than a materialised near-clique of confirmed pairs.
-        out: Dict[str, List[ExtractedPoi]] = {}
-        for k, user_id in enumerate(traces.user_ids):
-            span = traces.user_slice(k)
-            if span.stop - span.start < self.config.min_points:
-                out[user_id] = []
+        idx = np.nonzero(stationary)[0]
+        if idx.size == 0:
+            return out
+
+        # One dataset-wide clustering pass: cells are keyed by (user, cell)
+        # through the kernel's segment dimension, so cliques and pairs never
+        # span two users and the result only depends on each user's exact
+        # radius graph — identical to clustering every user separately, minus
+        # the per-user kernel invocations.  Stationary fixes of user k occupy
+        # idx[lo[k]:hi[k]] (idx ascends and user points are contiguous).
+        lo = np.searchsorted(idx, traces.offsets[:-1], side="left")
+        hi = np.searchsorted(idx, traces.offsets[1:], side="left")
+        xs = np.empty(idx.size)
+        ys = np.empty(idx.size)
+        for k in range(traces.n_users):
+            if hi[k] == lo[k]:
                 continue
-            out[user_id] = self._extract_vectorized(
+            span = traces.user_slice(k)
+            lats = traces.lats[span]
+            lons = traces.lons[span]
+            # Per-user projection arithmetic identical to the single-user
+            # path; np.mean's pairwise summation is order-sensitive, which
+            # pins these means to per-slice reductions.
+            lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
+            sel = idx[lo[k] : hi[k]]
+            xs[lo[k] : hi[k]] = (traces.lons[sel] - float(np.mean(lons))) * lon_m
+            ys[lo[k] : hi[k]] = (traces.lats[sel] - float(np.mean(lats))) * lat_m
+
+        cells, pair_a, pair_b = planar_radius_cliques(
+            xs, ys, self.config.eps_m, segments=traces.user_index[idx]
+        )
+        labels = self._cluster_graph(idx.size, cells, pair_a, pair_b)
+
+        for k, user_id in enumerate(traces.user_ids):
+            part = labels[lo[k] : hi[k]]
+            if part.size == 0 or not (part >= 0).any():
+                continue
+            # Renumber this user's global cluster ranks to local 0..c-1:
+            # global smallest-core order restricted to one user's contiguous
+            # index range preserves the per-user smallest-core order, so the
+            # ascending remap reproduces the single-user numbering exactly.
+            uniq = np.unique(part[part >= 0])
+            local = np.where(part >= 0, np.searchsorted(uniq, part), -1)
+            span = traces.user_slice(k)
+            out[user_id] = self._pois_from_labels(
                 user_id,
                 traces.timestamps[span],
                 traces.lats[span],
                 traces.lons[span],
-                stationary[span],
+                idx[lo[k] : hi[k]] - span.start,
+                local,
             )
         return out
 

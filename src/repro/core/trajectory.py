@@ -17,6 +17,7 @@ compare raw versus protected data safely.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -370,11 +371,12 @@ class MobilityDataset:
     experiments reproducible.
     """
 
-    __slots__ = ("_trajectories", "_columnar")
+    __slots__ = ("_trajectories", "_columnar", "_fingerprint")
 
     def __init__(self, trajectories: Iterable[Trajectory] = ()) -> None:
         self._trajectories: Dict[str, Trajectory] = {}
         self._columnar: Optional[ColumnarTraces] = None
+        self._fingerprint: Optional[Tuple[int, int, Tuple[float, float], int]] = None
         for traj in trajectories:
             self._add(traj)
 
@@ -382,6 +384,28 @@ class MobilityDataset:
         if traj.user_id in self._trajectories:
             raise ValueError(f"duplicate user id {traj.user_id!r} in dataset")
         self._trajectories[traj.user_id] = traj
+
+    @classmethod
+    def from_columnar(cls, columnar: ColumnarTraces) -> "MobilityDataset":
+        """Dataset over zero-copy per-user views of a flattened columnar layout.
+
+        The trajectories are :meth:`Trajectory.from_sorted` views into the
+        columnar arrays (which may be memory-mapped), so no point data is
+        copied; the columnar cache is seeded with ``columnar`` itself.
+        """
+        dataset = cls()
+        for k, user_id in enumerate(columnar.user_ids):
+            span = columnar.user_slice(k)
+            dataset._add(
+                Trajectory.from_sorted(
+                    user_id,
+                    columnar.timestamps[span],
+                    columnar.lats[span],
+                    columnar.lons[span],
+                )
+            )
+        dataset._columnar = columnar
+        return dataset
 
     def __getstate__(self):
         # The cached columnar view is derived data: shipping it through
@@ -392,6 +416,7 @@ class MobilityDataset:
     def __setstate__(self, state) -> None:
         self._trajectories = state
         self._columnar = None
+        self._fingerprint = None
 
     # -- mapping protocol -----------------------------------------------------
 
@@ -453,6 +478,29 @@ class MobilityDataset:
             min(t.first.timestamp for t in non_empty),
             max(t.last.timestamp for t in non_empty),
         )
+
+    def content_fingerprint(self) -> Tuple[int, int, Tuple[float, float], int]:
+        """A content fingerprint strong enough to key cached result rows by.
+
+        Shape alone (user/point counts, time span) is not enough — two
+        datasets differing only in coordinates would alias — so a CRC over a
+        sample of the coordinate arrays is included.  Computed once and
+        cached on the dataset (datasets are value objects); store-backed
+        datasets carry it pre-computed from their artifact header, so opening
+        a world never re-hashes its points.  Raises ``ValueError`` on an
+        empty dataset (which has no time span).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = self._compute_fingerprint()
+        return self._fingerprint
+
+    def _compute_fingerprint(self) -> Tuple[int, int, Tuple[float, float], int]:
+        columnar = self.columnar()  # shared read-only views: no copies
+        lats, lons = columnar.lats, columnar.lons
+        stride = max(1, lats.size // 1024)
+        checksum = zlib.crc32(lats[::stride].tobytes())
+        checksum = zlib.crc32(lons[::stride].tobytes(), checksum)
+        return (len(self), self.n_points, self.time_span, checksum)
 
     def all_coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
         """Concatenated ``(lats, lons)`` arrays of every fix of every user.

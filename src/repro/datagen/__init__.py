@@ -1,7 +1,14 @@
 """Synthetic GeoLife-like mobility workload generator (data substitution substrate)."""
 
 from .city import City, CityConfig, POI, POICategory
-from .mobility import SimulationConfig, SyntheticWorld, TraceSimulator, generate_world
+from .mobility import (
+    SimulationConfig,
+    SyntheticWorld,
+    TraceSimulator,
+    generate_world,
+    generate_world_store,
+    iter_world_trajectories,
+)
 from .noise import GpsNoiseConfig, GpsNoiseModel
 from .schedule import (
     DailySchedule,
@@ -27,4 +34,6 @@ __all__ = [
     "SyntheticWorld",
     "TraceSimulator",
     "generate_world",
+    "iter_world_trajectories",
+    "generate_world_store",
 ]

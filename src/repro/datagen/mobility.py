@@ -20,7 +20,7 @@ is what the evaluation harness scores attacks and metrics against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,17 @@ from .city import City, CityConfig, POI
 from .noise import GpsNoiseConfig, GpsNoiseModel
 from .schedule import DailySchedule, ScheduleConfig, ScheduleGenerator, UserProfile, Visit
 
-__all__ = ["SimulationConfig", "SyntheticWorld", "TraceSimulator", "generate_world"]
+if TYPE_CHECKING:
+    from ..io.world_store import WorldStore
+
+__all__ = [
+    "SimulationConfig",
+    "SyntheticWorld",
+    "TraceSimulator",
+    "generate_world",
+    "iter_world_trajectories",
+    "generate_world_store",
+]
 
 
 @dataclass(frozen=True)
@@ -120,6 +130,27 @@ class SyntheticWorld:
     def user_ids(self) -> List[str]:
         """Identifiers of the simulated users."""
         return [p.user_id for p in self.profiles]
+
+    def shard(self, k: int, n: int) -> "SyntheticWorld":
+        """Shard ``k`` of ``n``: the sub-world of users ``k, k + n, k + 2n, ...``.
+
+        Profiles, schedules and traces are filtered consistently, so ground
+        truth stays aligned; ``n`` disjoint shards cover the world exactly
+        once.
+        """
+        if n < 1 or not 0 <= k < n:
+            raise ValueError(f"shard must satisfy 0 <= k < n, got ({k}, {n})")
+        profiles = self.profiles[k::n]
+        keep = {p.user_id for p in profiles}
+        return SyntheticWorld(
+            city=self.city,
+            profiles=profiles,
+            schedules=[s for s in self.schedules if s.user_id in keep],
+            dataset=self.dataset.subset(
+                uid for uid in (p.user_id for p in profiles) if uid in self.dataset
+            ),
+            config=self.config,
+        )
 
 
 class TraceSimulator:
@@ -348,3 +379,84 @@ def generate_world(
         dataset=dataset,
         config=simulator.config,
     )
+
+
+def iter_world_trajectories(
+    n_users: int = 20,
+    n_days: int = 5,
+    seed: int = 0,
+    city_config: Optional[CityConfig] = None,
+    schedule_config: Optional[ScheduleConfig] = None,
+    simulation_config: Optional[SimulationConfig] = None,
+    noise_config: Optional[GpsNoiseConfig] = None,
+    epoch: float = 1_400_000_000.0,
+) -> Iterator[Trajectory]:
+    """Stream the traces of :func:`generate_world`, one user at a time.
+
+    Yields exactly the trajectories ``generate_world(...)`` would put in its
+    dataset (same parameters, bit-identical arrays, empty users dropped)
+    while holding at most one user's trace in memory.  This works because
+    the scheduler and the simulator consume *independent* seeded RNGs:
+    ``make_schedules`` draws schedules profile-major and ``simulate`` runs
+    users in profile order, so interleaving the two per user preserves each
+    RNG's consumption sequence exactly.
+
+    Only the traces are streamed — the city and profiles (small) exist in
+    full, the ground-truth schedule of each user only while it is simulated.
+    """
+    if n_users < 1:
+        raise ValueError("n_users must be at least 1")
+    if n_days < 1:
+        raise ValueError("n_days must be at least 1")
+    city = City.generate(city_config, seed=seed)
+    scheduler = ScheduleGenerator(city, schedule_config, seed=seed + 1)
+    profiles = scheduler.make_profiles(n_users)
+    simulator = TraceSimulator(
+        city,
+        simulation_config,
+        noise=noise_config or GpsNoiseConfig(seed=seed + 2),
+        seed=seed + 3,
+    )
+    for profile in profiles:
+        schedules = [
+            scheduler.make_schedule(profile, day, epoch=epoch) for day in range(n_days)
+        ]
+        trajectory = simulator.simulate_user(profile, schedules)
+        if len(trajectory) > 0:
+            yield trajectory
+
+
+def generate_world_store(
+    path: str,
+    n_users: int = 20,
+    n_days: int = 5,
+    seed: int = 0,
+    overwrite: bool = False,
+    city_config: Optional[CityConfig] = None,
+    schedule_config: Optional[ScheduleConfig] = None,
+    simulation_config: Optional[SimulationConfig] = None,
+    noise_config: Optional[GpsNoiseConfig] = None,
+    epoch: float = 1_400_000_000.0,
+) -> "WorldStore":
+    """Generate a synthetic world directly into an on-disk store artifact.
+
+    The chunked counterpart of :func:`generate_world`: users are simulated
+    and appended to a :class:`~repro.io.world_store.WorldStoreWriter` one at
+    a time, so worlds far larger than RAM can be generated; the resulting
+    store's dataset is bit-identical to ``generate_world(...).dataset``.
+    """
+    from ..io.world_store import WorldStoreWriter
+
+    writer = WorldStoreWriter(path, overwrite=overwrite)
+    for trajectory in iter_world_trajectories(
+        n_users=n_users,
+        n_days=n_days,
+        seed=seed,
+        city_config=city_config,
+        schedule_config=schedule_config,
+        simulation_config=simulation_config,
+        noise_config=noise_config,
+        epoch=epoch,
+    ):
+        writer.append(trajectory)
+    return writer.finalize()

@@ -16,17 +16,29 @@ processes* (two invocations, one file)::
     python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect cold
     python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect warm
 
+``store`` mode writes the check world to an on-disk
+:class:`~repro.io.world_store.WorldStore` artifact and asserts that the
+memmap-backed world produces rows bitwise-identical to the in-memory world
+under every backend, that both worlds share one cache-key fingerprint, and
+that the store-backed payloads cross process boundaries as a path (a few
+hundred bytes) rather than a pickled dataset::
+
+    python -m repro.experiments.backend_check store --workers 2
+
 Exit status is non-zero on any mismatch.
 """
 
 from __future__ import annotations
 
 import argparse
+import pickle
 import sys
+import tempfile
 from typing import Any, Dict, List, Optional, Sequence
 
 from .backends import MultiprocessingBackend, SerialBackend, WorkQueueBackend
-from .engine import EvaluationEngine, ExperimentSpec
+from .engine import EvaluationEngine, ExperimentSpec, _world_fingerprint
+from .worlds import make_world
 
 
 def check_spec(scale: str = "tiny", seed: int = 5) -> ExperimentSpec:
@@ -90,6 +102,82 @@ def run_equivalence(scale: str, workers: int, timeout_s: float) -> int:
     return 1 if failures else 0
 
 
+def run_store_check(
+    scale: str, workers: int, timeout_s: float, store_dir: Optional[str] = None
+) -> int:
+    """In-memory vs memmap-backed world: identical rows under every backend.
+
+    This is the correctness contract of the out-of-core path: an engine run
+    over a ``store:path=...`` world must be bitwise-indistinguishable from
+    the same run over the in-memory world it was written from, whichever
+    scheduler backend evaluates it — and the store world must cross process
+    boundaries as a path, not as a pickled dataset.
+    """
+    seed = 5
+    world = make_world(f"standard:scale={scale},seed={seed}")
+    directory = store_dir or tempfile.mkdtemp(prefix="backend-check-store-")
+    from ..io.world_store import WorldStore
+
+    store = WorldStore.write(world.dataset, f"{directory}/world", overwrite=True)
+    mapped_world = make_world(f"store:path={directory}/world")
+    print(
+        f"store: {store.n_users} users / {store.n_points} points "
+        f"memmapped from {store.path}"
+    )
+    failures = 0
+
+    memory_fp = _world_fingerprint(world)
+    mapped_fp = _world_fingerprint(mapped_world)
+    if memory_fp != mapped_fp:
+        print(f"FAIL fingerprint: in-memory {memory_fp} != store header {mapped_fp}")
+        failures += 1
+    else:
+        print("ok   fingerprint: store header matches the in-memory computation")
+
+    world_bytes = len(pickle.dumps(mapped_world))
+    dataset_bytes = len(pickle.dumps(world.dataset))
+    if world_bytes >= min(2048, dataset_bytes):
+        print(
+            f"FAIL payload: store world pickles to {world_bytes} bytes "
+            f"(in-memory dataset: {dataset_bytes}) — expected path-only pickling"
+        )
+        failures += 1
+    else:
+        print(
+            f"ok   payload: store world pickles to {world_bytes} bytes "
+            f"(in-memory dataset: {dataset_bytes})"
+        )
+
+    base = check_spec(scale, seed=seed)
+    spec = ExperimentSpec(
+        name="backend-check-store",
+        mechanisms=base.mechanisms,
+        metrics=base.metrics,
+        worlds=["check-world"],
+        seeds=base.seeds,
+    )
+    reference = EvaluationEngine(backend=SerialBackend(), cache=False).run(
+        spec, worlds={"check-world": world}
+    )
+    print(f"serial in-memory: {len(reference)} rows")
+    checks = [
+        ("store+serial", SerialBackend()),
+        ("store+multiprocessing", MultiprocessingBackend(workers=workers)),
+        ("store+work-queue", WorkQueueBackend(workers=workers, timeout_s=timeout_s)),
+    ]
+    for label, backend in checks:
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            spec, worlds={"check-world": mapped_world}
+        )
+        failures += not _rows_identical(reference, rows, label)
+
+    print(
+        f"{3 - min(failures, 3)}/3 backends matched the in-memory rows "
+        "from the memmapped artifact"
+    )
+    return 1 if failures else 0
+
+
 def run_cache_check(scale: str, cache_file: str, expect: str) -> int:
     spec = check_spec(scale)
     engine = EvaluationEngine(cache=f"sqlite:path={cache_file}")
@@ -130,9 +218,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache.add_argument("--cache-file", required=True)
     cache.add_argument("--expect", choices=("cold", "warm"), required=True)
 
+    store = subparsers.add_parser(
+        "store", help="in-memory vs memmap-backed world rows identical under every backend"
+    )
+    store.add_argument("--scale", default="tiny", help="workload scale (default tiny)")
+    store.add_argument("--workers", type=int, default=2)
+    store.add_argument("--timeout-s", type=float, default=300.0)
+    store.add_argument(
+        "--store-dir", default=None, help="write the artifact here (default: a tempdir)"
+    )
+
     args = parser.parse_args(argv)
     if args.mode == "equivalence":
         return run_equivalence(args.scale, args.workers, args.timeout_s)
+    if args.mode == "store":
+        return run_store_check(args.scale, args.workers, args.timeout_s, args.store_dir)
     return run_cache_check(args.scale, args.cache_file, args.expect)
 
 

@@ -276,10 +276,17 @@ def _world_fingerprint(world: Any) -> Tuple:
 
     Shape alone (user/point counts, time span) is not enough — two worlds
     differing only in coordinates would alias — so a CRC over a sample of
-    the coordinate arrays is included.  O(n); computed once per world per
-    :meth:`EvaluationEngine.run` (the run memoizes it across cells).
+    the coordinate arrays is included.  Delegates to
+    :meth:`~repro.core.trajectory.MobilityDataset.content_fingerprint`,
+    which caches the tuple on the dataset after the first computation (and
+    reads it from the artifact header for store-backed worlds), so repeated
+    ``run`` calls on the same world never re-hash its points; the legacy
+    inline arithmetic is kept for duck-typed datasets without the method.
     """
     dataset = world.dataset
+    fingerprint = getattr(dataset, "content_fingerprint", None)
+    if fingerprint is not None:
+        return fingerprint()
     columnar = dataset.columnar()  # shared read-only views: no copies
     lats, lons = columnar.lats, columnar.lons
     stride = max(1, lats.size // 1024)

@@ -27,6 +27,7 @@ traces.  Register additional sources with :func:`register_world`::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..api.registry import Registry, RegistryError
@@ -41,8 +42,10 @@ __all__ = [
     "list_worlds",
     "DerivedPoi",
     "RealWorld",
+    "StoreWorld",
     "split_sessions",
     "geolife_world",
+    "store_world",
 ]
 
 
@@ -122,8 +125,92 @@ class RealWorld:
         self._poi_cache[key] = pois
         return pois
 
+    def shard(self, k: int, n: int) -> "RealWorld":
+        """Shard ``k`` of ``n``: the sub-world of users ``k, k + n, k + 2n, ...``.
+
+        The ``world.shard(k, n)`` protocol: ``n`` disjoint shards cover the
+        world exactly once, in user order, so independent processes can each
+        evaluate one shard of a large world.
+        """
+        if n < 1 or not 0 <= k < n:
+            raise ValueError(f"shard must satisfy 0 <= k < n, got ({k}, {n})")
+        return RealWorld(
+            name=f"{self.name}[{k}/{n}]",
+            dataset=self.dataset.subset(self.user_ids[k::n]),
+            poi_diameter_m=self.poi_diameter_m,
+        )
+
     def __repr__(self) -> str:
         return f"RealWorld(name={self.name!r}, {self.dataset!r})"
+
+
+class StoreWorld(RealWorld):
+    """A world opened from an on-disk :class:`~repro.io.world_store.WorldStore`.
+
+    The dataset is memory-mapped (zero-copy columnar views over the
+    artifact's columns) and the engine's cache-key fingerprint comes from
+    the artifact header, so opening and evaluating a store-backed world
+    never loads or re-hashes its points.  Pickling ships only
+    ``(path, poi_diameter_m, shard)``: scheduler-backend workers re-open the
+    artifact by path and share OS page-cache pages — under fork *and* spawn
+    — instead of receiving a pickled dataset.
+    """
+
+    def __init__(
+        self, path: str, poi_diameter_m: float = 200.0, shard: str = ""
+    ) -> None:
+        from ..io.world_store import WorldStore
+
+        self.path = str(path)
+        self.shard_spec = str(shard or "")
+        store = WorldStore.open(self.path)
+        pair = _parse_shard(self.shard_spec)
+        name = f"store:{Path(self.path).name}"
+        if pair is not None:
+            name = f"{name}[{pair[0]}/{pair[1]}]"
+        super().__init__(
+            name=name,
+            dataset=store.dataset(shard=pair),
+            poi_diameter_m=poi_diameter_m,
+        )
+
+    def shard(self, k: int, n: int) -> "StoreWorld":
+        """A store-backed shard (stays memmapped and path-picklable)."""
+        if self.shard_spec:
+            raise ValueError(f"world is already shard {self.shard_spec!r}")
+        return StoreWorld(self.path, self.poi_diameter_m, shard=f"{k}/{n}")
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (StoreWorld, (self.path, self.poi_diameter_m, self.shard_spec))
+
+
+def _parse_shard(spec: str) -> Optional[Tuple[int, int]]:
+    """Parse a ``"k/n"`` shard spec (empty means the whole world)."""
+    if not spec:
+        return None
+    try:
+        k_text, n_text = spec.split("/", 1)
+        return (int(k_text), int(n_text))
+    except ValueError:
+        raise RegistryError(
+            f"shard must look like 'k/n' (e.g. 'shard=0/4'), got {spec!r}"
+        ) from None
+
+
+def store_world(
+    path: str = "", poi_diameter_m: float = 200.0, shard: str = ""
+) -> StoreWorld:
+    """A world over an on-disk store artifact: ``store:path=/data/world``.
+
+    ``shard=k/n`` (e.g. ``store:path=/data/world,shard=0/4``) restricts the
+    world to shard ``k`` of ``n`` — the spec-string form of the
+    ``world.shard(k, n)`` protocol.
+    """
+    if not path:
+        raise RegistryError(
+            "the store world needs a directory: 'store:path=/data/world.store'"
+        )
+    return StoreWorld(path, poi_diameter_m=poi_diameter_m, shard=shard)
 
 
 def split_sessions(dataset: MobilityDataset, sessions_gap_s: float) -> MobilityDataset:
@@ -216,3 +303,4 @@ WORLDS.register("crossing", aliases=("crossing-rich",))(
 WORLDS.register("figure1")(figure1_world)
 WORLDS.register("generate")(generate_world)
 WORLDS.register("geolife")(geolife_world)
+WORLDS.register("store")(store_world)

@@ -750,7 +750,10 @@ _CLIQUE_MARGIN_M = 1e-6
 
 
 def planar_radius_cliques(
-    xs: np.ndarray, ys: np.ndarray, radius: float
+    xs: np.ndarray,
+    ys: np.ndarray,
+    radius: float,
+    segments: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Radius join on the finer clique grid: certified cells + cross-cell pairs.
 
@@ -762,6 +765,12 @@ def planar_radius_cliques(
     instead of materialised pairs.  Cross-cell candidates come from the
     ±2-bin join (a radius spans at most two of the finer cells) and are
     confirmed with the exact squared planar distance.
+
+    ``segments`` (optional) assigns every point an integer segment identifier
+    (e.g. the owning user); cells and pairs then never span two segments —
+    cells are keyed by ``(segment, row, col)`` and the join's segment reach
+    is zero — which lets one call cluster a whole dataset of independent
+    per-user point sets.
 
     Returns ``(cells, pair_a, pair_b)``: ``cells`` assigns every point the
     integer label of its clique cell (contiguous, ``0..n_cells-1``), and the
@@ -780,6 +789,12 @@ def planar_radius_cliques(
     empty = np.zeros(0, dtype=np.int64)
     if xs.size == 0:
         return empty, empty.copy(), empty.copy()
+    if segments is None:
+        buckets = np.zeros(xs.size, dtype=np.int64)
+    else:
+        buckets = np.asarray(segments, dtype=np.int64)
+        if buckets.shape != xs.shape:
+            raise ValueError("segments must align with the point arrays")
     r2 = radius * radius
     if radius <= _CLIQUE_MARGIN_M:
         # Sub-margin radius: no cell small enough can *certify* its
@@ -788,15 +803,19 @@ def planar_radius_cliques(
         cells = np.arange(xs.size, dtype=np.int64)
         rows = np.floor((ys - ys.min()) / radius).astype(np.int64)
         cols = np.floor((xs - xs.min()) / radius).astype(np.int64)
-        offsets_reach: Union[int, Tuple[int, int, int]] = 1
+        offsets_reach: Union[int, Tuple[int, int, int]] = (1, 1, 0)
         include_same_bin = True
     else:
         cell = (radius - min(_CLIQUE_MARGIN_M, 0.01 * radius)) / np.sqrt(2.0)
         rows = np.floor((ys - ys.min()) / cell).astype(np.int64)
         cols = np.floor((xs - xs.min()) / cell).astype(np.int64)
-        # Contiguous cell labels from the packed (row, col) keys.
+        # Contiguous cell labels from the packed (segment, row, col) keys.
         span = int(cols.max()) + 1
-        _, cells = np.unique(rows * span + cols, return_inverse=True)
+        row_span = int(rows.max()) + 1
+        seg = buckets - int(buckets.min())
+        if (int(seg.max()) + 1) * row_span * span >= 2**63:
+            raise ValueError("cell key space too large to pack into int64")
+        _, cells = np.unique((seg * row_span + rows) * span + cols, return_inverse=True)
         cells = cells.astype(np.int64)
         offsets_reach = (2, 2, 0)
         include_same_bin = False
@@ -806,7 +825,7 @@ def planar_radius_cliques(
     kept_i: List[np.ndarray] = []
     kept_j: List[np.ndarray] = []
     for i, j in iter_neighbor_pairs(
-        rows, cols, np.zeros(xs.size, dtype=np.int64), reach=offsets_reach,
+        rows, cols, buckets, reach=offsets_reach,
         include_same_bin=include_same_bin,
     ):
         dx = xs[i] - xs[j]

@@ -8,11 +8,19 @@ from .geojson import (
     write_geojson,
 )
 from .geolife import (
+    ingest_geolife_store,
+    iter_geolife_users,
     read_geolife_directory,
     read_geolife_user,
     read_plt_file,
     write_geolife_directory,
     write_plt_file,
+)
+from .world_store import (
+    StoreBackedDataset,
+    WorldStore,
+    WorldStoreError,
+    WorldStoreWriter,
 )
 
 __all__ = [
@@ -21,8 +29,14 @@ __all__ = [
     "read_plt_file",
     "write_plt_file",
     "read_geolife_user",
+    "iter_geolife_users",
     "read_geolife_directory",
+    "ingest_geolife_store",
     "write_geolife_directory",
+    "WorldStore",
+    "WorldStoreWriter",
+    "WorldStoreError",
+    "StoreBackedDataset",
     "trajectory_to_feature",
     "mixzone_to_feature",
     "dataset_to_feature_collection",

@@ -16,17 +16,22 @@ from __future__ import annotations
 
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 import numpy as np
 
 from ..core.trajectory import MobilityDataset, Trajectory
 
+if TYPE_CHECKING:
+    from .world_store import WorldStore
+
 __all__ = [
     "read_plt_file",
     "write_plt_file",
     "read_geolife_user",
+    "iter_geolife_users",
     "read_geolife_directory",
+    "ingest_geolife_store",
     "write_geolife_directory",
 ]
 
@@ -129,22 +134,57 @@ def read_geolife_user(user_dir: str | Path, user_id: Optional[str] = None) -> Tr
     )
 
 
-def read_geolife_directory(
+def iter_geolife_users(
     root: str | Path, max_users: Optional[int] = None
-) -> MobilityDataset:
-    """Read a GeoLife-style directory tree (``root/<user>/Trajectory/*.plt``)."""
+) -> Iterator[Trajectory]:
+    """Stream a GeoLife-style directory tree, one user at a time.
+
+    Yields each user's full validated, time-sorted trajectory in sorted
+    user-directory order, skipping users with no fixes — exactly the
+    trajectories :func:`read_geolife_directory` assembles, but holding only
+    one user's history in memory at a time (the 182-user public release is
+    ~25M fixes; the largest single user is a small fraction of that).
+    """
     root = Path(root)
     if not root.is_dir():
         raise FileNotFoundError(f"GeoLife root directory not found: {root}")
-    trajectories: List[Trajectory] = []
     user_dirs = sorted(d for d in root.iterdir() if d.is_dir())
     if max_users is not None:
         user_dirs = user_dirs[:max_users]
     for user_dir in user_dirs:
         trajectory = read_geolife_user(user_dir)
         if len(trajectory) > 0:
-            trajectories.append(trajectory)
-    return MobilityDataset(trajectories)
+            yield trajectory
+
+
+def read_geolife_directory(
+    root: str | Path, max_users: Optional[int] = None
+) -> MobilityDataset:
+    """Read a GeoLife-style directory tree (``root/<user>/Trajectory/*.plt``)."""
+    return MobilityDataset(iter_geolife_users(root, max_users=max_users))
+
+
+def ingest_geolife_store(
+    root: str | Path,
+    store_path: str | Path,
+    max_users: Optional[int] = None,
+    overwrite: bool = False,
+) -> "WorldStore":
+    """Stream a GeoLife directory tree into one on-disk world artifact.
+
+    The bounded-memory ingest path: users flow from
+    :func:`iter_geolife_users` straight into a
+    :class:`~repro.io.world_store.WorldStoreWriter`, so the full release
+    becomes a single memory-mapped artifact without ever materialising the
+    whole dataset in RAM.  Evaluate it with the ``store:path=...`` world
+    spec.
+    """
+    from .world_store import WorldStoreWriter
+
+    writer = WorldStoreWriter(store_path, overwrite=overwrite)
+    for trajectory in iter_geolife_users(root, max_users=max_users):
+        writer.append(trajectory)
+    return writer.finalize()
 
 
 def write_geolife_directory(root: str | Path, dataset: MobilityDataset) -> None:

@@ -117,3 +117,15 @@ class TestDjCluster:
         # Raw data contains plenty of stationary density: most users leak POIs.
         users_with_pois = sum(1 for v in per_user.values() if v)
         assert users_with_pois >= len(per_user) // 2
+
+    def test_dataset_pass_equals_per_user_extraction(self, small_world):
+        """The single dataset-wide clique pass must match user-by-user calls.
+
+        Pins the (user, cell)-keyed global kernel invocation: segmenting the
+        spatial hash by user must never merge or split clusters across users,
+        so each user's POIs are bitwise those of an isolated extraction.
+        """
+        dj = DjCluster()
+        per_user = dj.extract_dataset(small_world.dataset)
+        for trajectory in small_world.dataset:
+            assert per_user[trajectory.user_id] == dj.extract(trajectory)

@@ -11,6 +11,8 @@ from repro.core.trajectory import MobilityDataset, Trajectory
 from repro.io.csv_io import read_csv, write_csv
 from repro.io.geojson import dataset_to_feature_collection, write_geojson
 from repro.io.geolife import (
+    ingest_geolife_store,
+    iter_geolife_users,
     read_geolife_directory,
     read_plt_file,
     write_geolife_directory,
@@ -116,6 +118,82 @@ class TestPlt:
         (tmp_path / "042").mkdir()
         loaded = read_geolife_user(tmp_path / "042")
         assert loaded.user_id == "042" and len(loaded) == 0
+
+
+class TestGeolifeStreaming:
+    """The generator-based bounded-memory reader must match the eager one."""
+
+    def test_generator_equals_eager_reader(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        streamed = list(iter_geolife_users(root))
+        eager = read_geolife_directory(root)
+        assert [t.user_id for t in streamed] == eager.user_ids
+        assert all(t == eager[t.user_id] for t in streamed)
+
+    def test_generator_respects_max_users(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        assert [t.user_id for t in iter_geolife_users(root, max_users=1)] == ["alice"]
+
+    def test_generator_is_lazy(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        iterator = iter_geolife_users(root)
+        first = next(iterator)
+        assert first.user_id == "alice"
+
+    def test_generator_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            next(iter_geolife_users(tmp_path / "nope"))
+
+    def test_generator_skips_empty_users(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        (root / "000-empty" / "Trajectory").mkdir(parents=True)
+        assert [t.user_id for t in iter_geolife_users(root)] == ["alice", "bob"]
+
+    def test_multi_file_user_streams_as_one_trajectory(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        user_dir = root / "007" / "Trajectory"
+        half = len(dataset["alice"]) // 2
+        write_plt_file(user_dir / "a.plt", dataset["alice"][:half])
+        write_plt_file(user_dir / "b.plt", dataset["alice"][half:])
+        streamed = list(iter_geolife_users(root))
+        assert len(streamed) == 1
+        assert len(streamed[0]) == len(dataset["alice"])
+        assert np.all(np.diff(streamed[0].timestamps) >= 0.0)
+
+    def test_gappy_and_malformed_lines_stream_like_eager(self, tmp_path):
+        root = tmp_path / "geolife"
+        user_dir = root / "042" / "Trajectory"
+        user_dir.mkdir(parents=True)
+        (user_dir / "gappy.plt").write_text(
+            "h\n" * 6
+            + "45.0,4.0,0,0,0,2008-10-23,02:53:04\n"
+            + "garbage line\n"
+            + "45.1,not-a-number,0,0,0,2008-10-23,02:53:05\n"
+            + "45.2,4.2,0,0,0,2008-10-23,09:53:04\n"  # 7-hour gap survives
+        )
+        streamed = list(iter_geolife_users(root))
+        eager = read_geolife_directory(root)
+        assert streamed == list(eager)
+        assert len(streamed[0]) == 2
+
+    def test_ingest_store_round_trip(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        store = ingest_geolife_store(root, tmp_path / "world")
+        assert store.dataset() == read_geolife_directory(root)
+        assert store.dataset().content_fingerprint() == (
+            read_geolife_directory(root).content_fingerprint()
+        )
+
+    def test_ingest_store_max_users(self, tmp_path, dataset):
+        root = tmp_path / "geolife"
+        write_geolife_directory(root, dataset)
+        store = ingest_geolife_store(root, tmp_path / "world", max_users=1)
+        assert store.dataset().user_ids == ["alice"]
 
 
 class TestCsv:

@@ -1,0 +1,295 @@
+"""Tests for the on-disk world artifact layer (:mod:`repro.io.world_store`).
+
+The store's contract is strict: a round-tripped dataset is *bitwise*
+identical to the in-memory one, columnar views stay zero-copy over the
+memmapped columns, the cache-key fingerprint comes from the header without
+re-hashing, and pickling ships a path rather than the points.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.datagen import generate_world, generate_world_store, iter_world_trajectories
+from repro.experiments.engine import EvaluationEngine, ExperimentSpec, _world_fingerprint
+from repro.experiments.worlds import RealWorld, StoreWorld, make_world
+from repro.io.world_store import (
+    StoreBackedDataset,
+    WorldStore,
+    WorldStoreError,
+    WorldStoreWriter,
+)
+
+from .conftest import make_line_trajectory
+
+
+@pytest.fixture
+def dataset() -> MobilityDataset:
+    return MobilityDataset(
+        [
+            make_line_trajectory(user_id="alice", n_points=40, start_time=1_400_000_000.0),
+            make_line_trajectory(user_id="bob", n_points=25, start_time=1_400_100_000.0),
+            make_line_trajectory(user_id="carol", n_points=31, start_time=1_400_200_000.0),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_round_trip_is_bitwise_identical(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        loaded = store.dataset()
+        assert loaded == dataset
+        assert loaded.user_ids == dataset.user_ids
+        reference = dataset.columnar()
+        mapped = loaded.columnar()
+        assert np.array_equal(mapped.timestamps, reference.timestamps)
+        assert np.array_equal(mapped.lats, reference.lats)
+        assert np.array_equal(mapped.lons, reference.lons)
+        assert np.array_equal(mapped.offsets, reference.offsets)
+
+    def test_header_records_the_world(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        header = json.loads((tmp_path / "world" / "world.json").read_text())
+        assert header["format"] == "repro-world-store"
+        assert header["version"] == 1
+        assert header["n_users"] == len(dataset)
+        assert header["n_points"] == dataset.n_points
+        assert tuple(header["time_span"]) == dataset.time_span
+        assert header["checksum"] == store.fingerprint[3]
+
+    def test_columnar_views_are_zero_copy(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        columnar = store.dataset().columnar()
+        for arr in (columnar.timestamps, columnar.lats, columnar.lons):
+            base = arr
+            while base.base is not None and not isinstance(base, np.memmap):
+                base = base.base
+            assert isinstance(base, np.memmap)
+            assert not arr.flags.writeable
+
+    def test_lazy_trajectories_are_memmap_views(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        trajectory = store.dataset()["bob"]
+        assert trajectory == dataset["bob"]
+        assert not trajectory.lats.flags.owndata
+
+    def test_empty_dataset_round_trips(self, tmp_path):
+        store = WorldStore.write(MobilityDataset([]), tmp_path / "world")
+        assert store.n_users == 0 and store.n_points == 0
+        assert store.fingerprint is None
+        assert len(store.dataset()) == 0
+
+    def test_empty_trajectories_are_preserved(self, tmp_path):
+        data = MobilityDataset(
+            [make_line_trajectory(user_id="a", n_points=5), Trajectory.empty("hollow")]
+        )
+        loaded = WorldStore.write(data, tmp_path / "world").dataset()
+        assert loaded == data
+        assert len(loaded["hollow"]) == 0
+
+
+class TestFingerprint:
+    def test_header_fingerprint_matches_in_memory(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        assert store.fingerprint == dataset.content_fingerprint()
+        assert store.dataset().content_fingerprint() == dataset.content_fingerprint()
+
+    def test_store_dataset_never_rehashes(self, tmp_path, dataset, monkeypatch):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        expected = dataset.content_fingerprint()
+
+        def explode(self):
+            raise AssertionError("store-backed fingerprint must come from the header")
+
+        monkeypatch.setattr(MobilityDataset, "_compute_fingerprint", explode)
+        loaded = store.dataset()
+        assert loaded.content_fingerprint() == expected
+
+    def test_fingerprint_computed_once_across_engine_runs(self, dataset, monkeypatch):
+        """Regression: repeated ``engine.run`` calls must not re-hash the world."""
+        calls = {"n": 0}
+        original = MobilityDataset._compute_fingerprint
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(MobilityDataset, "_compute_fingerprint", counting)
+        world = RealWorld("fp-test", dataset)
+        spec = ExperimentSpec(
+            name="fp-test",
+            mechanisms=["identity"],
+            metrics=["point-retention"],
+            worlds=["w"],
+            seeds=[0],
+        )
+        engine = EvaluationEngine()  # default in-memory cache: fingerprints are keyed
+        first = engine.run(spec, worlds={"w": world})
+        second = engine.run(spec, worlds={"w": world})
+        assert first == second
+        assert calls["n"] == 1
+
+    def test_engine_fingerprint_equals_dataset_fingerprint(self, tmp_path, dataset):
+        store_world = StoreWorld(str(WorldStore.write(dataset, tmp_path / "world").path))
+        assert _world_fingerprint(store_world) == _world_fingerprint(
+            RealWorld("mem", dataset)
+        )
+
+
+class TestSharding:
+    def test_shards_partition_the_users(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        seen = []
+        for k in range(2):
+            shard = store.dataset(shard=(k, 2))
+            assert shard.user_ids == dataset.user_ids[k::2]
+            seen.extend(shard.user_ids)
+        assert sorted(seen) == sorted(dataset.user_ids)
+
+    def test_shard_contents_match_subset(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        assert store.dataset(shard=(1, 2)) == dataset.subset(dataset.user_ids[1::2])
+
+    def test_world_shard_protocol(self, tmp_path, dataset):
+        world = StoreWorld(str(WorldStore.write(dataset, tmp_path / "world").path))
+        shard = world.shard(1, 3)
+        assert shard.dataset == dataset.subset(dataset.user_ids[1::3])
+        with pytest.raises(ValueError):
+            shard.shard(0, 2)
+
+    def test_invalid_shard_rejected(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        for bad in ((2, 2), (-1, 2), (0, 0)):
+            with pytest.raises(WorldStoreError):
+                store.dataset(shard=bad)
+
+    def test_real_world_shard_protocol(self, dataset):
+        world = RealWorld("mem", dataset)
+        shards = [world.shard(k, 2) for k in range(2)]
+        assert sorted(u for s in shards for u in s.user_ids) == sorted(dataset.user_ids)
+
+
+class TestPickling:
+    def test_dataset_pickles_by_path(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        payload = pickle.dumps(store.dataset())
+        assert len(payload) < 512
+        assert pickle.loads(payload) == dataset
+
+    def test_sharded_dataset_pickles_by_path(self, tmp_path, dataset):
+        store = WorldStore.write(dataset, tmp_path / "world")
+        clone = pickle.loads(pickle.dumps(store.dataset(shard=(0, 2))))
+        assert isinstance(clone, StoreBackedDataset)
+        assert clone == dataset.subset(dataset.user_ids[0::2])
+
+    def test_store_world_pickles_by_path(self, tmp_path, dataset):
+        world = StoreWorld(str(WorldStore.write(dataset, tmp_path / "world").path))
+        payload = pickle.dumps(world)
+        assert len(payload) < 512
+        clone = pickle.loads(payload)
+        assert clone.dataset == world.dataset
+        assert clone.name == world.name
+
+
+class TestWriterErrors:
+    def test_duplicate_user_rejected(self, tmp_path):
+        writer = WorldStoreWriter(tmp_path / "world")
+        writer.append(make_line_trajectory(user_id="a"))
+        with pytest.raises(WorldStoreError):
+            writer.append(make_line_trajectory(user_id="a"))
+
+    def test_append_after_finalize_rejected(self, tmp_path):
+        writer = WorldStoreWriter(tmp_path / "world")
+        writer.append(make_line_trajectory(user_id="a"))
+        writer.finalize()
+        with pytest.raises(WorldStoreError):
+            writer.append(make_line_trajectory(user_id="b"))
+
+    def test_newline_in_user_id_rejected(self, tmp_path):
+        writer = WorldStoreWriter(tmp_path / "world")
+        bad = Trajectory("evil\nuser", [0.0], [45.0], [4.0])
+        with pytest.raises(WorldStoreError):
+            writer.append(bad)
+
+    def test_open_missing_store_raises(self, tmp_path):
+        with pytest.raises(WorldStoreError):
+            WorldStore.open(tmp_path / "nope")
+
+    def test_unfinalized_writer_is_not_a_store(self, tmp_path):
+        writer = WorldStoreWriter(tmp_path / "world")
+        writer.append(make_line_trajectory(user_id="a"))
+        # No finalize(): the header is written last, so no valid store exists.
+        with pytest.raises(WorldStoreError):
+            WorldStore.open(tmp_path / "world")
+
+    def test_refuses_foreign_directory_without_overwrite(self, tmp_path, dataset):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("not a store")
+        with pytest.raises(WorldStoreError):
+            WorldStoreWriter(target)
+        with pytest.raises(WorldStoreError):
+            WorldStoreWriter(target, overwrite=True)
+
+    def test_overwrite_replaces_existing_store(self, tmp_path, dataset):
+        WorldStore.write(dataset, tmp_path / "world")
+        smaller = dataset.subset(["alice"])
+        store = WorldStore.write(smaller, tmp_path / "world", overwrite=True)
+        assert store.dataset() == smaller
+
+
+class TestStreamedGeneration:
+    def test_iter_world_trajectories_matches_generate_world(self):
+        world = generate_world(n_users=6, n_days=2, seed=11)
+        streamed = list(iter_world_trajectories(n_users=6, n_days=2, seed=11))
+        assert streamed == list(world.dataset)
+
+    def test_generate_world_store_matches_generate_world(self, tmp_path):
+        world = generate_world(n_users=5, n_days=2, seed=4)
+        store = generate_world_store(tmp_path / "world", n_users=5, n_days=2, seed=4)
+        assert store.dataset() == world.dataset
+        assert store.fingerprint == world.dataset.content_fingerprint()
+
+    def test_synthetic_world_shard(self):
+        world = generate_world(n_users=7, n_days=1, seed=2)
+        shards = [world.shard(k, 3) for k in range(3)]
+        assert sorted(u for s in shards for u in s.dataset.user_ids) == sorted(
+            world.dataset.user_ids
+        )
+        for shard in shards:
+            for profile in shard.profiles:
+                assert profile.user_id in shard.dataset
+
+
+class TestStoreWorldSpec:
+    def test_store_spec_builds_store_world(self, tmp_path, dataset):
+        path = WorldStore.write(dataset, tmp_path / "world").path
+        world = make_world(f"store:path={path}")
+        assert isinstance(world, StoreWorld)
+        assert world.dataset == dataset
+
+    def test_shard_spec_equals_shard_method(self, tmp_path, dataset):
+        path = WorldStore.write(dataset, tmp_path / "world").path
+        via_spec = make_world(f"store:path={path},shard=1/2")
+        via_method = make_world(f"store:path={path}").shard(1, 2)
+        assert via_spec.dataset == via_method.dataset
+        assert via_spec.name == via_method.name
+
+    def test_engine_rows_identical_to_in_memory(self, tmp_path, dataset):
+        path = WorldStore.write(dataset, tmp_path / "world").path
+        spec = ExperimentSpec(
+            name="store-equivalence",
+            mechanisms=["identity", "downsampling:factor=3"],
+            metrics=["point-retention"],
+            worlds=["w"],
+            seeds=[0],
+        )
+        engine = EvaluationEngine(cache=False)
+        memory_rows = engine.run(spec, worlds={"w": RealWorld("mem", dataset)})
+        store_rows = engine.run(spec, worlds={"w": make_world(f"store:path={path}")})
+        assert memory_rows == store_rows
