@@ -1,0 +1,166 @@
+"""Streaming-tier benchmark: per-point update latency and resident state.
+
+Replays the evaluation workloads through the incremental attacks of
+``repro.streaming`` and records, per attack cell:
+
+* ``wall_s`` / ``wall_s_samples`` — best-of-k replay wall time and the raw
+  repeat samples (the regression gate compares the minimum);
+* ``update_latency_us`` — mean per-point cost of ``update()`` (+ the final
+  ``finalize()``), the number a live pipeline budgets against;
+* ``peak_resident_points`` — the largest point-derived state the streaming
+  consumer held at any moment, versus the full dataset the batch attack
+  loads (``resident_fraction``).  Stay-point windows and the mix-zone deque
+  are O(window); DJ-Cluster retains the *stationary* fixes only (density
+  clusters are defined over the whole history).
+* ``batch_wall_s`` — the batch attack on the same data, for context.
+
+``BENCH_stream.<scale>.json`` is committed at small scale and gated by
+``compare_artifacts.py`` like every other bench artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.attacks.djcluster import DjCluster, DjClusterConfig
+from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
+from repro.experiments.formatting import format_table
+from repro.mixzones.detection import MixZoneDetectionConfig, MixZoneDetector
+from repro.streaming import (
+    LiveSource,
+    ReplaySource,
+    StreamingCrossingDetector,
+    StreamingDjCluster,
+    StreamingPoiExtractor,
+)
+
+
+def _stream_timing(
+    source_factory, consumer_factory, peak_of, n_points: int, repeats: int = 3
+) -> dict:
+    """Timed replay repeats plus one instrumented pass for peak state."""
+    samples = []
+    for _ in range(repeats):
+        consumer = consumer_factory()
+        start = time.perf_counter()
+        for point in source_factory():
+            consumer.update(point)
+        consumer.finalize()
+        samples.append(time.perf_counter() - start)
+    wall_s = min(samples)
+
+    consumer = consumer_factory()
+    peak = 0
+    for point in source_factory():
+        consumer.update(point)
+        peak = max(peak, peak_of(consumer))
+    return {
+        "wall_s": wall_s,
+        "wall_s_samples": samples,
+        "points_per_s": n_points / wall_s if wall_s > 0 else None,
+        "update_latency_us": 1e6 * wall_s / n_points if n_points else None,
+        "peak_resident_points": peak,
+        "resident_fraction": peak / n_points if n_points else None,
+    }
+
+
+def _batch_wall_s(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_stream(eval_world, crossing_eval_world, bench_artifact, evaluation_scale):
+    standard = eval_world.dataset
+    crossing = crossing_eval_world.dataset
+
+    poi_config = PoiExtractionConfig()
+    dj_config = DjClusterConfig()
+    zone_config = MixZoneDetectionConfig()
+    standard_source = ReplaySource(standard)
+    crossing_source = ReplaySource(crossing)
+    live = LiveSource(n_users=8, n_points=5000, seed=7)
+
+    timings = {
+        "stream_staypoints": _stream_timing(
+            lambda: standard_source,
+            lambda: StreamingPoiExtractor(poi_config, user_ids=standard_source.user_ids),
+            lambda c: c.open_points,
+            standard.n_points,
+        ),
+        "stream_djcluster": _stream_timing(
+            lambda: standard_source,
+            lambda: StreamingDjCluster(dj_config, user_ids=standard_source.user_ids),
+            lambda c: c.stationary_points,
+            standard.n_points,
+        ),
+        "stream_mixzones": _stream_timing(
+            lambda: crossing_source,
+            lambda: StreamingCrossingDetector(zone_config, user_ids=crossing_source.user_ids),
+            lambda c: c.window_points,
+            crossing.n_points,
+        ),
+        "live_staypoints": _stream_timing(
+            lambda: live,
+            lambda: StreamingPoiExtractor(poi_config, user_ids=live.user_ids),
+            lambda c: c.open_points,
+            live.n_points,
+        ),
+    }
+    timings["stream_staypoints"]["batch_wall_s"] = _batch_wall_s(
+        lambda: PoiExtractor(poi_config).extract_dataset(standard)
+    )
+    timings["stream_djcluster"]["batch_wall_s"] = _batch_wall_s(
+        lambda: DjCluster(dj_config).extract_dataset(standard)
+    )
+    timings["stream_mixzones"]["batch_wall_s"] = _batch_wall_s(
+        lambda: MixZoneDetector(zone_config).find_crossings(crossing)
+    )
+
+    rows = [
+        {
+            "cell": cell,
+            "wall_s": values["wall_s"],
+            "update_latency_us": values["update_latency_us"],
+            "peak_resident_points": values["peak_resident_points"],
+            "resident_fraction": values["resident_fraction"],
+            "batch_wall_s": values.get("batch_wall_s"),
+        }
+        for cell, values in timings.items()
+    ]
+    path = bench_artifact(
+        "stream",
+        timings=timings,
+        rows=rows,
+        extra={
+            "workload": {
+                "standard_points": standard.n_points,
+                "crossing_points": crossing.n_points,
+                "live_points": live.n_points,
+            }
+        },
+    )
+    print()
+    headers = [
+        "cell", "wall_s", "update_latency_us",
+        "peak_resident_points", "resident_fraction", "batch_wall_s",
+    ]
+    print(format_table(
+        headers,
+        [[r[h] for h in headers] for r in rows],
+        title=f"Streaming tier at scale={evaluation_scale} (artifact: {path})",
+    ))
+
+    # O(window), not O(history): the appendable stay window and the mix-zone
+    # deque must stay far below the dataset they replayed.  (DJ-Cluster's
+    # state is all stationary fixes by construction — reported, not bounded.)
+    if evaluation_scale not in ("tiny",):
+        for cell in ("stream_staypoints", "stream_mixzones", "live_staypoints"):
+            fraction = timings[cell]["resident_fraction"]
+            assert fraction is not None and fraction < 0.5, (
+                f"{cell}: peak resident state is {fraction:.0%} of the stream — "
+                "a sliding window must not retain history"
+            )

@@ -60,13 +60,32 @@ def _load_payload(path: Path) -> dict:
 
 
 def load_wall_times(path: Path) -> Dict[str, float]:
-    """Map of timing cell -> wall seconds for one artifact (empty on error)."""
+    """Map of timing cell -> wall seconds for one artifact (empty on error).
+
+    A cell may carry ``wall_s_samples`` — the individual repeat wall times,
+    an additive schema field newer benches record next to ``wall_s``.  When
+    present and valid, the *minimum* sample is compared (the least noisy
+    location estimate, robust to one slow repeat on a shared runner);
+    otherwise ``wall_s`` is used, so baselines without samples keep working
+    unregenerated.
+    """
     timings = _load_payload(path).get("timings")
     if not isinstance(timings, dict):
         return {}
     cells: Dict[str, float] = {}
     for cell, values in timings.items():
-        wall = values.get("wall_s") if isinstance(values, dict) else None
+        if not isinstance(values, dict):
+            continue
+        wall = values.get("wall_s")
+        samples = values.get("wall_s_samples")
+        if isinstance(samples, list):
+            valid = [
+                float(s)
+                for s in samples
+                if isinstance(s, (int, float)) and not isinstance(s, bool) and s > 0
+            ]
+            if valid:
+                wall = min(valid)
         if isinstance(wall, (int, float)) and not isinstance(wall, bool) and wall > 0:
             cells[str(cell)] = float(wall)
     return cells

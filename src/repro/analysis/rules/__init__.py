@@ -10,6 +10,7 @@ from .columnar import ColumnarDisciplineRule
 from .determinism import DeterminismRule
 from .registry_integrity import RegistryIntegrityRule
 from .spawn_safety import SpawnSafetyRule
+from .streaming import StreamingIncrementalityRule
 
 __all__ = ["Rule", "ALL_RULES", "get_rules"]
 
@@ -20,6 +21,7 @@ ALL_RULES: List[Rule] = [
     ColumnarDisciplineRule(),
     RegistryIntegrityRule(),
     SpawnSafetyRule(),
+    StreamingIncrementalityRule(),
 ]
 
 

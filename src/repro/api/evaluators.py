@@ -114,7 +114,14 @@ def _truth_pois(world: World, min_stay_s: float) -> List[Tuple[float, float]]:
 @register_attack("poi-retrieval")
 @dataclass
 class PoiRetrievalEvaluator:
-    """Score a POI-extraction attack against the world's true POIs."""
+    """Score a POI-extraction attack against the world's true POIs.
+
+    ``execution`` selects how the publication is consumed: ``"batch"``
+    (default) the vectorized attack over the finished dataset, ``"stream"``
+    a point-by-point replay through :mod:`repro.streaming`'s incremental
+    extractors (pinned bitwise-identical to batch).  The engine injects
+    ``execution="stream"`` when the spec sets ``mode="stream"``.
+    """
 
     algorithm: str = "staypoint"
     match_distance_m: float = 250.0
@@ -122,6 +129,7 @@ class PoiRetrievalEvaluator:
     adaptive: bool = True
     base_diameter_m: float = 200.0
     engine: str = "vectorized"
+    execution: str = "batch"
     name: str = field(default="poi-retrieval", init=False)
 
     def __post_init__(self) -> None:
@@ -132,6 +140,10 @@ class PoiRetrievalEvaluator:
         if self.engine not in ("vectorized", "reference"):
             raise RegistryError(
                 f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
+            )
+        if self.execution not in ("batch", "stream"):
+            raise RegistryError(
+                f"unknown execution {self.execution!r}; choose 'batch' or 'stream'"
             )
 
     def _diameter(self, result: PublicationResult) -> float:
@@ -152,19 +164,25 @@ class PoiRetrievalEvaluator:
         self, diameter: float
     ) -> Callable[[MobilityDataset], Dict[str, list]]:
         if self.algorithm == "staypoint":
-            extractor = PoiExtractor(
-                PoiExtractionConfig(
-                    min_duration_s=self.min_stay_s,
-                    max_diameter_m=diameter,
-                    merge_distance_m=diameter / 2.0,
-                    engine=self.engine,
-                )
+            config = PoiExtractionConfig(
+                min_duration_s=self.min_stay_s,
+                max_diameter_m=diameter,
+                merge_distance_m=diameter / 2.0,
+                engine=self.engine,
             )
-            return extractor.extract_dataset
-        clusterer = DjCluster(
-            DjClusterConfig(eps_m=max(100.0, diameter / 2.0), engine=self.engine)
+            if self.execution == "stream":
+                from ..streaming import replay_extract_staypoints
+
+                return lambda dataset: replay_extract_staypoints(dataset, config)
+            return PoiExtractor(config).extract_dataset
+        dj_config = DjClusterConfig(
+            eps_m=max(100.0, diameter / 2.0), engine=self.engine
         )
-        return clusterer.extract_dataset
+        if self.execution == "stream":
+            from ..streaming import replay_extract_djclusters
+
+            return lambda dataset: replay_extract_djclusters(dataset, dj_config)
+        return DjCluster(dj_config).extract_dataset
 
     def run(
         self, result: PublicationResult, context: Optional[EvaluationContext] = None
@@ -199,18 +217,27 @@ class ReidentEvaluator:
     ``engine`` selects the implementation of both attackers:
     ``"vectorized"`` (default) the columnar kernels, ``"reference"`` the
     retained scalar oracles (spec form: ``reident:engine=reference``).
+    ``execution="stream"`` replays the published dataset point by point
+    through :class:`~repro.streaming.OnlineReidentifier` (knowledge is
+    attacker training data and stays batch-built either way); the final
+    scores are pinned bitwise-identical to batch.
     """
 
     train_fraction: float = 0.5
     match_distance_m: float = 250.0
     bbox_margin_m: float = 500.0
     engine: str = "vectorized"
+    execution: str = "batch"
     name: str = field(default="reident", init=False)
 
     def __post_init__(self) -> None:
         if self.engine not in ("vectorized", "reference"):
             raise RegistryError(
                 f"unknown engine {self.engine!r}; choose 'vectorized' or 'reference'"
+            )
+        if self.execution not in ("batch", "stream"):
+            raise RegistryError(
+                f"unknown execution {self.execution!r}; choose 'batch' or 'stream'"
             )
 
     def _attackers(
@@ -250,8 +277,19 @@ class ReidentEvaluator:
             context.world
         )
         truth = result.identity_truth()
-        poi_rate = poi_attacker.attack(result.dataset, poi_knowledge).accuracy(truth)
-        footprint_rate = fp_attacker.attack(result.dataset, fp_knowledge).accuracy(truth)
+        if self.execution == "stream":
+            from ..streaming import replay_reidentify
+
+            poi_result, fp_result = replay_reidentify(
+                result.dataset, poi_attacker, fp_attacker, poi_knowledge, fp_knowledge
+            )
+            poi_rate = poi_result.accuracy(truth)
+            footprint_rate = fp_result.accuracy(truth)
+        else:
+            poi_rate = poi_attacker.attack(result.dataset, poi_knowledge).accuracy(truth)
+            footprint_rate = fp_attacker.attack(result.dataset, fp_knowledge).accuracy(
+                truth
+            )
         report = result.report
         return {
             "poi_attack_rate": poi_rate,
@@ -318,16 +356,32 @@ class TrackingEvaluator:
 @register_attack("zone-census")
 @dataclass
 class ZoneCensusEvaluator:
-    """How many natural mix-zones the published data contains at one radius."""
+    """How many natural mix-zones the published data contains at one radius.
+
+    ``execution="stream"`` replays the publication through the
+    sliding-window crossing detector (batch-identical zones).
+    """
 
     radius_m: float = 100.0
+    execution: str = "batch"
     name: str = field(default="zone-census", init=False)
+
+    def __post_init__(self) -> None:
+        if self.execution not in ("batch", "stream"):
+            raise RegistryError(
+                f"unknown execution {self.execution!r}; choose 'batch' or 'stream'"
+            )
 
     def run(
         self, result: PublicationResult, context: Optional[EvaluationContext] = None
     ) -> Dict[str, object]:
-        detector = MixZoneDetector(MixZoneDetectionConfig(radius_m=self.radius_m))
-        zones = detector.detect(result.dataset)
+        config = MixZoneDetectionConfig(radius_m=self.radius_m)
+        if self.execution == "stream":
+            from ..streaming import replay_detect_mix_zones
+
+            zones = replay_detect_mix_zones(result.dataset, config)
+        else:
+            zones = MixZoneDetector(config).detect(result.dataset)
         sizes = [zone.n_participants for zone in zones] or [0]
         return {
             "zone_radius_m": self.radius_m,

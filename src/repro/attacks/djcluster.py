@@ -136,12 +136,13 @@ class DjCluster:
             lats = traces.lats[span]
             lons = traces.lons[span]
             # Per-user projection arithmetic identical to the single-user
-            # path; np.mean's pairwise summation is order-sensitive, which
-            # pins these means to per-slice reductions.
-            lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
+            # path: the anchor is the user's first fix, which is known the
+            # moment the first point arrives (the streaming tier projects
+            # at arrival time against the same anchor).
+            lat_m, lon_m = meters_per_degree(float(lats[0]))
             sel = idx[lo[k] : hi[k]]
-            xs[lo[k] : hi[k]] = (traces.lons[sel] - float(np.mean(lons))) * lon_m
-            ys[lo[k] : hi[k]] = (traces.lats[sel] - float(np.mean(lats))) * lat_m
+            xs[lo[k] : hi[k]] = (traces.lons[sel] - float(lons[0])) * lon_m
+            ys[lo[k] : hi[k]] = (traces.lats[sel] - float(lats[0])) * lat_m
 
         cells, pair_a, pair_b = planar_radius_cliques(
             xs, ys, self.config.eps_m, segments=traces.user_index[idx]
@@ -187,11 +188,12 @@ class DjCluster:
             return []
 
         # Project to meters for Euclidean neighbourhood queries (identical
-        # arithmetic to the reference engine: offsets from the full-trace
-        # mean, scaled by the meters-per-degree at the mean latitude).
-        lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
-        xs = (lons[idx] - float(np.mean(lons))) * lon_m
-        ys = (lats[idx] - float(np.mean(lats))) * lat_m
+        # arithmetic to the reference engine: offsets from the trace's first
+        # fix, scaled by the meters-per-degree at its latitude — an anchor
+        # the streaming tier also knows at arrival time).
+        lat_m, lon_m = meters_per_degree(float(lats[0]))
+        xs = (lons[idx] - float(lons[0])) * lon_m
+        ys = (lats[idx] - float(lats[0])) * lat_m
 
         cells, pair_a, pair_b = planar_radius_cliques(xs, ys, cfg.eps_m)
         labels = self._cluster_graph(m, cells, pair_a, pair_b)
@@ -317,10 +319,11 @@ class DjCluster:
         if idx.size < cfg.min_points:
             return []
 
-        # Project to meters for Euclidean neighbourhood queries.
-        lat_m, lon_m = meters_per_degree(float(np.mean(lats)))
-        xs = (lons[idx] - float(np.mean(lons))) * lon_m
-        ys = (lats[idx] - float(np.mean(lats))) * lat_m
+        # Project to meters for Euclidean neighbourhood queries, anchored at
+        # the trace's first fix (same anchor as the vectorized engine).
+        lat_m, lon_m = meters_per_degree(float(lats[0]))
+        xs = (lons[idx] - float(lons[0])) * lon_m
+        ys = (lats[idx] - float(lats[0])) * lat_m
 
         labels = self._dbscan(xs, ys, cfg.eps_m, cfg.min_points)
         return self._pois_from_labels(trajectory.user_id, ts, lats, lons, idx, labels)

@@ -394,10 +394,17 @@ class FootprintReidentifier:
         self,
         published: MobilityDataset,
         knowledge: Mapping[str, np.ndarray],
+        footprints: Optional[Mapping[str, np.ndarray]] = None,
     ) -> ReidentificationResult:
-        """Assign every published pseudonym to the candidate with the closest footprint."""
-        grid = getattr(self, "_knowledge_grid", None) or self._grid(published, None)
-        footprints = self._footprints(grid, published)
+        """Assign every published pseudonym to the candidate with the closest footprint.
+
+        ``footprints`` optionally supplies precomputed per-pseudonym footprints
+        (sorted unique cell-ID arrays against the knowledge grid), letting an
+        incrementally-maintained caller skip the batch construction.
+        """
+        if footprints is None:
+            grid = getattr(self, "_knowledge_grid", None) or self._grid(published, None)
+            footprints = self._footprints(grid, published)
         scores: Dict[str, Dict[str, float]] = {}
         for pseudonym, footprint in footprints.items():
             scores[pseudonym] = {

@@ -16,6 +16,14 @@ processes* (two invocations, one file)::
     python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect cold
     python -m repro.experiments.backend_check cache --cache-file cells.sqlite --expect warm
 
+``stream`` mode runs real attack cells — stay-point and DJ-Cluster POI
+retrieval, the mix-zone census and the re-identification pair — under
+``mode="batch"`` and ``mode="stream"`` and asserts the rows are
+bitwise-identical, which is the streaming tier's equivalence contract (the
+incremental attacks must finalize to exactly the batch results)::
+
+    python -m repro.experiments.backend_check stream --scale small
+
 ``store`` mode writes the check world to an on-disk
 :class:`~repro.io.world_store.WorldStore` artifact and asserts that the
 memmap-backed world produces rows bitwise-identical to the in-memory world
@@ -53,18 +61,25 @@ def check_spec(scale: str = "tiny", seed: int = 5) -> ExperimentSpec:
 
 
 def _rows_identical(
-    reference: Sequence[Dict[str, Any]], candidate: Sequence[Dict[str, Any]], label: str
+    reference: Sequence[Dict[str, Any]],
+    candidate: Sequence[Dict[str, Any]],
+    label: str,
+    baseline: str = "serial",
 ) -> bool:
     if candidate == reference:
-        print(f"ok   {label}: {len(candidate)} rows identical to serial")
+        print(f"ok   {label}: {len(candidate)} rows identical to {baseline}")
         return True
-    print(f"FAIL {label}: rows differ from serial")
+    print(f"FAIL {label}: rows differ from {baseline}")
     for i, (ref, cand) in enumerate(zip(reference, candidate)):
         if ref != cand:
-            print(f"  first differing row {i}:\n    serial:    {ref}\n    {label}: {cand}")
+            print(
+                f"  first differing row {i}:\n    {baseline}:    {ref}\n    {label}: {cand}"
+            )
             break
     if len(reference) != len(candidate):
-        print(f"  row counts differ: serial {len(reference)} vs {label} {len(candidate)}")
+        print(
+            f"  row counts differ: {baseline} {len(reference)} vs {label} {len(candidate)}"
+        )
     return False
 
 
@@ -178,6 +193,70 @@ def run_store_check(
     return 1 if failures else 0
 
 
+def run_stream_check(scale: str) -> int:
+    """Batch vs streaming rows: identical for every streaming-capable attack.
+
+    Two specs cover the four incremental attacks: a full-input spec for the
+    POI extractors and the zone census (over a standard and a crossing-rich
+    world, so the mix-zone path sees real crossings), and a publish-half
+    spec for the re-identification pair (the E4 setting).  Both run once
+    with ``mode="batch"`` and once with ``mode="stream"``; any differing
+    row is a broken bitwise pin in :mod:`repro.streaming`.
+    """
+    import dataclasses
+
+    seed = 5
+    specs = [
+        ExperimentSpec(
+            name="stream-check-full",
+            mechanisms=["identity", "downsampling:factor=5"],
+            attacks=[
+                "poi-retrieval:algorithm=staypoint",
+                "poi-retrieval:algorithm=djcluster",
+                "zone-census:radius_m=100",
+            ],
+            worlds=[
+                f"standard:scale={scale},seed={seed}",
+                f"crossing:scale={scale},seed={seed}",
+            ],
+            seeds=[0],
+        ),
+        ExperimentSpec(
+            name="stream-check-reident",
+            mechanisms=["identity", "pseudonyms:seed=1"],
+            attacks=["reident:train_fraction=0.5"],
+            worlds=[f"standard:scale={scale},seed={seed}"],
+            seeds=[0],
+            input="publish-half:train_fraction=0.5",
+        ),
+    ]
+    failures = 0
+    for spec in specs:
+        batch = EvaluationEngine(cache=False).run(spec)
+        stream = EvaluationEngine(cache=False).run(
+            dataclasses.replace(spec, mode="stream")
+        )
+        print(f"{spec.name}: {len(batch)} batch rows")
+        by_attack: Dict[str, List[Dict[str, Any]]] = {}
+        for ref, cand in zip(batch, stream):
+            by_attack.setdefault(str(ref["attack"]), []).append(ref)
+        for attack in by_attack:
+            ref_rows = [r for r in batch if str(r["attack"]) == attack]
+            cand_rows = [r for r in stream if str(r["attack"]) == attack]
+            failures += not _rows_identical(
+                ref_rows, cand_rows, f"stream {attack}", baseline="batch"
+            )
+        if len(batch) != len(stream):
+            print(f"FAIL {spec.name}: {len(batch)} batch vs {len(stream)} stream rows")
+            failures += 1
+    print(
+        "streaming tier matched batch bitwise"
+        if not failures
+        else f"{failures} streaming attack(s) diverged from batch"
+    )
+    return 1 if failures else 0
+
+
 def run_cache_check(scale: str, cache_file: str, expect: str) -> int:
     spec = check_spec(scale)
     engine = EvaluationEngine(cache=f"sqlite:path={cache_file}")
@@ -218,6 +297,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache.add_argument("--cache-file", required=True)
     cache.add_argument("--expect", choices=("cold", "warm"), required=True)
 
+    stream = subparsers.add_parser(
+        "stream", help="batch vs streaming rows identical for every streaming attack"
+    )
+    stream.add_argument("--scale", default="small", help="workload scale (default small)")
+
     store = subparsers.add_parser(
         "store", help="in-memory vs memmap-backed world rows identical under every backend"
     )
@@ -231,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.mode == "equivalence":
         return run_equivalence(args.scale, args.workers, args.timeout_s)
+    if args.mode == "stream":
+        return run_stream_check(args.scale)
     if args.mode == "store":
         return run_store_check(args.scale, args.workers, args.timeout_s, args.store_dir)
     return run_cache_check(args.scale, args.cache_file, args.expect)

@@ -49,8 +49,9 @@ __all__ = [
 
 #: Version prefix of the serialized key format.  Bump when the canonical
 #: encoding (not the key *contents*, which the engine owns) changes shape, so
-#: an old cache file misses cleanly instead of aliasing.
-CELL_KEY_FORMAT_VERSION = 1
+#: an old cache file misses cleanly instead of aliasing.  v2: the engine's
+#: key tuple gained the experiment ``mode`` (batch vs stream) component.
+CELL_KEY_FORMAT_VERSION = 2
 
 
 def _canonical(value: Any) -> str:

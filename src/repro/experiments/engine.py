@@ -131,6 +131,13 @@ class ExperimentSpec:
         ``"publish-half:train_fraction=0.5"`` (the second temporal half, the
         re-identification setting where the first half is attacker
         knowledge).
+    mode:
+        How attack evaluators consume the publication: ``"batch"`` (default;
+        the vectorized attacks over the finished dataset) or ``"stream"``
+        (the publication is replayed point by point through
+        :mod:`repro.streaming`'s incremental attacks, whose output is pinned
+        bitwise-identical to batch).  Evaluators opt in by declaring an
+        ``execution`` parameter; others run batch either way.
     """
 
     name: str
@@ -140,6 +147,7 @@ class ExperimentSpec:
     worlds: Sequence[AxisEntry] = ("standard:scale=small,seed=42",)
     seeds: Sequence[int] = (0,)
     input: str = "full"
+    mode: str = "batch"
 
     def cells(self) -> List[Dict[str, Any]]:
         """The ordered cross product as flat cell descriptors."""
@@ -227,12 +235,15 @@ def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
     Module-level so worker processes can unpickle it; all component
     construction happens here, inside the worker, from spec strings.
     """
-    (world, world_label, input_spec, seed, mech_label, mech_item, cell_args) = payload
+    (world, world_label, input_spec, seed, mech_label, mech_item, cell_args, mode) = payload
     input_dataset = _resolve_input(world, input_spec)
     result = _publish_for_group(mech_item, mech_label, input_dataset, seed)
     context = EvalContext(
         world=world, world_key=world_label, input_dataset=input_dataset, seed=seed
     )
+    # Streaming mode is injected only into evaluators that declare an
+    # ``execution`` parameter; explicit spec params win, others run batch.
+    attack_defaults = {"execution": "stream"} if mode == "stream" else None
 
     out: List[Tuple[int, Dict[str, Any]]] = []
     for index, attack_label, attack_item, metric_group in cell_args:
@@ -240,7 +251,7 @@ def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
         if attack_item is not None:
             if isinstance(attack_item, str):
                 name, params, prefix = _pop_prefix(attack_item)
-                attack = ATTACKS.create_parsed(name, params)
+                attack = ATTACKS.create_parsed(name, params, defaults=attack_defaults)
             else:
                 attack, prefix = attack_item, ""
             run = getattr(attack, "run", None)
@@ -367,6 +378,7 @@ class EvaluationEngine:
             return None
         return (
             spec.input,
+            spec.mode,
             cell["world_label"],
             fingerprint,
             cell["seed"],
@@ -390,6 +402,10 @@ class EvaluationEngine:
         :class:`~repro.datagen.mobility.SyntheticWorld` objects; labels not
         in the mapping are built from their spec via :func:`make_world`.
         """
+        if spec.mode not in ("batch", "stream"):
+            raise RegistryError(
+                f"unknown mode {spec.mode!r}; choose 'batch' or 'stream'"
+            )
         cells = spec.cells()
         world_objects = self._resolve_worlds(spec, worlds)
         fingerprints = (
@@ -443,6 +459,7 @@ class EvaluationEngine:
                 group["mech_label"],
                 group["mech_item"],
                 group["cells"],
+                spec.mode,
             )
             for group in groups.values()
         ]

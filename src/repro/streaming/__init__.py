@@ -1,0 +1,54 @@
+"""Streaming incremental evaluation tier.
+
+This package re-runs the repository's attacks *online*: points arrive one at
+a time (replayed from a dataset / ``WorldStore`` world or synthesised live),
+every component exposes ``update(point) -> events`` with per-point cost
+bounded by its sliding window — never by the stream's history — and every
+``finalize()`` is pinned bitwise-identical to the corresponding batch attack
+on the same data.  The CI job ``stream-equivalence`` holds that pin through
+``python -m repro.experiments.backend_check stream``.
+
+Components:
+
+* :class:`ReplaySource` / :class:`LiveSource` — where points come from;
+* :class:`StreamingPoiExtractor` — appendable-window stay-point extraction;
+* :class:`StreamingDjCluster` — incremental density clustering (grid +
+  union-find);
+* :class:`StreamingCrossingDetector` / :class:`StreamingMixZoneDetector` —
+  sliding-window mix-zone crossing detection;
+* :class:`OnlineReidentifier` — per-arrival re-identification score rows.
+
+Experiments opt in with ``ExperimentSpec(mode="stream")``, which routes the
+evaluators that declare an ``execution`` parameter through this tier.
+"""
+
+from .djcluster import ClusterEvent, StreamingDjCluster, replay_extract_djclusters
+from .mixzones import (
+    StreamingCrossingDetector,
+    StreamingMixZoneDetector,
+    replay_detect_mix_zones,
+    replay_find_crossings,
+)
+from .reident import OnlineReidentifier, ScoreEvent, replay_reidentify
+from .sources import LiveSource, ReplaySource, StreamPoint, StreamSource, replay
+from .staypoints import StreamingPoiExtractor, replay_extract_staypoints
+
+__all__ = [
+    "ClusterEvent",
+    "LiveSource",
+    "OnlineReidentifier",
+    "ReplaySource",
+    "ScoreEvent",
+    "StreamPoint",
+    "StreamSource",
+    "StreamingCrossingDetector",
+    "StreamingDjCluster",
+    "StreamingMixZoneDetector",
+    "StreamingPoiExtractor",
+    "replay",
+    "replay_detect_mix_zones",
+    "replay_extract_djclusters",
+    "replay_extract_staypoints",
+    "replay_find_crossings",
+    "replay_reidentify",
+]

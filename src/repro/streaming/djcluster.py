@@ -1,0 +1,291 @@
+"""Incremental DJ-Cluster: density clusters maintained point by point.
+
+The batch attack (:class:`~repro.attacks.djcluster.DjCluster`) projects a
+user's stationary fixes to planar meters, finds the ``eps``-radius neighbour
+relation through a clique grid and labels the connected components of the
+core-core graph.  Here the same clusters are *maintained* as points arrive:
+
+* stationarity resolves with one point of lookahead (a fix is stationary
+  when either adjacent segment is slow; the left segment is known when the
+  next fix arrives, the last fix resolves at ``finalize``), replaying the
+  exact speed arithmetic of :meth:`Trajectory.speeds`;
+* each stationary fix is projected against the user's first-fix anchor (the
+  same anchor the batch engines use) and inserted into a coarse grid of cell
+  side ``eps``; its neighbours are found with one 3x3 cell probe and the
+  kernel's exact squared-distance test, so the incremental neighbour
+  relation equals the batch clique-grid relation point for point;
+* neighbourhood counts update incrementally, fixes promote to *core* when
+  their count reaches ``min_points``, and a union-find over core fixes
+  absorbs every core-core edge at promotion time (the later endpoint of an
+  edge always sees the earlier one already marked core).
+
+``finalize()`` ranks the clusters by smallest core fix, attaches border
+fixes to the smallest-ranked adjacent cluster, and emits per-cluster POIs
+with the batch centroid arithmetic — bitwise-identical to
+``DjCluster.extract_dataset`` on the same data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.djcluster import DjClusterConfig
+from ..attacks.poi_extraction import ExtractedPoi
+from ..core.trajectory import MobilityDataset
+from ..geo.distance import haversine, meters_per_degree
+from .sources import ReplaySource, StreamPoint
+
+__all__ = ["ClusterEvent", "StreamingDjCluster", "replay_extract_djclusters"]
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """An observable change of one user's cluster structure.
+
+    ``kind`` is ``"core"`` (the fix at ``index`` became a cluster core) or
+    ``"merge"`` (two core components joined); ``index`` is the stationary-fix
+    insertion index the event anchors to.
+    """
+
+    user_id: str
+    kind: str
+    index: int
+
+
+class _UserClusters:
+    """Incremental cluster state of one user."""
+
+    __slots__ = (
+        "anchor", "prev", "prev_below", "xs", "ys", "lats", "lons", "ts",
+        "grid", "counts", "core", "parent",
+    )
+
+    def __init__(self) -> None:
+        # (lat0, lon0, lat_m, lon_m) — set by the user's first fix.
+        self.anchor: Optional[Tuple[float, float, float, float]] = None
+        # The latest fix (ts, lat, lon), stationarity not yet resolved.
+        self.prev: Optional[Tuple[float, float, float]] = None
+        self.prev_below = False  # was the segment *into* ``prev`` slow?
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+        self.lats: List[float] = []
+        self.lons: List[float] = []
+        self.ts: List[float] = []
+        self.grid: Dict[Tuple[int, int], List[int]] = {}
+        self.counts: List[int] = []
+        self.core: List[bool] = []
+        self.parent: List[int] = []
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[max(ra, rb)] = min(ra, rb)
+        return True
+
+
+class StreamingDjCluster:
+    """Online DJ-Cluster with ``update(point) -> events`` and batch-pinned labels."""
+
+    def __init__(
+        self,
+        config: Optional[DjClusterConfig] = None,
+        user_ids: Sequence[str] = (),
+    ) -> None:
+        self.config = config or DjClusterConfig()
+        self._users: Dict[str, _UserClusters] = {}
+        for user_id in user_ids:
+            self.register_user(user_id)
+
+    def register_user(self, user_id: str) -> None:
+        if user_id not in self._users:
+            self._users[user_id] = _UserClusters()
+
+    @property
+    def stationary_points(self) -> int:
+        """Stationary fixes currently indexed across users (resident state)."""
+        return sum(len(st.xs) for st in self._users.values())
+
+    # -- online updates ---------------------------------------------------------
+
+    def update(self, point: StreamPoint) -> List[ClusterEvent]:
+        """Feed one fix; resolve the previous fix's stationarity."""
+        self.register_user(point.user_id)
+        st = self._users[point.user_id]
+        if st.anchor is None:
+            lat_m, lon_m = meters_per_degree(point.lat)
+            st.anchor = (point.lat, point.lon, lat_m, lon_m)
+        events: List[ClusterEvent] = []
+        if st.prev is not None:
+            prev_ts, prev_lat, prev_lon = st.prev
+            below = self._segment_below(
+                prev_ts, prev_lat, prev_lon, point.timestamp, point.lat, point.lon
+            )
+            if st.prev_below or below:
+                events = self._insert(point.user_id, st, prev_ts, prev_lat, prev_lon)
+            st.prev_below = below
+        st.prev = (point.timestamp, point.lat, point.lon)
+        return events
+
+    def finalize(self) -> Dict[str, List[ExtractedPoi]]:
+        """Per-user cluster POIs, bitwise-identical to the batch attack."""
+        out: Dict[str, List[ExtractedPoi]] = {}
+        for user_id, st in self._users.items():
+            if st.prev is not None and st.prev_below:
+                prev_ts, prev_lat, prev_lon = st.prev
+                self._insert(user_id, st, prev_ts, prev_lat, prev_lon)
+                st.prev_below = False  # resolved; finalize stays idempotent
+            out[user_id] = self._label_user(user_id, st)
+        return out
+
+    # -- stationarity (one point of lookahead) ----------------------------------
+
+    def _segment_below(
+        self, t0: float, lat0: float, lon0: float, t1: float, lat1: float, lon1: float
+    ) -> bool:
+        """Is the segment slow?  Exact :meth:`Trajectory.speeds` arithmetic."""
+        dist = haversine(lat0, lon0, lat1, lon1)
+        dur = t1 - t0
+        if dur > 0.0:
+            speed = dist / dur
+        elif dist == 0.0:
+            speed = 0.0
+        else:
+            speed = math.inf
+        return speed <= self.config.max_stationary_speed_mps
+
+    # -- incremental neighbourhood maintenance ----------------------------------
+
+    def _neighbors(self, st: _UserClusters, x: float, y: float, skip: int) -> List[int]:
+        """In-radius fixes via a 3x3 probe of the eps-sized grid.
+
+        The exact confirmation ``dx*dx + dy*dy <= eps*eps`` reproduces the
+        batch clique kernel's pair test on the same projected floats, so the
+        maintained relation is the batch relation.
+        """
+        eps = self.config.eps_m
+        r2 = eps * eps
+        cx, cy = math.floor(x / eps), math.floor(y / eps)
+        xs, ys = st.xs, st.ys
+        found: List[int] = []
+        for gx in (cx - 1, cx, cx + 1):
+            for gy in (cy - 1, cy, cy + 1):
+                for i in st.grid.get((gx, gy), ()):
+                    if i == skip:
+                        continue
+                    dx = x - xs[i]
+                    dy = y - ys[i]
+                    if dx * dx + dy * dy <= r2:
+                        found.append(i)
+        return found
+
+    def _insert(
+        self, user_id: str, st: _UserClusters, ts: float, lat: float, lon: float
+    ) -> List[ClusterEvent]:
+        """Index one resolved stationary fix and maintain counts/cores."""
+        assert st.anchor is not None
+        lat0, lon0, lat_m, lon_m = st.anchor
+        x = (lon - lon0) * lon_m
+        y = (lat - lat0) * lat_m
+        idx = len(st.xs)
+        st.xs.append(x)
+        st.ys.append(y)
+        st.lats.append(lat)
+        st.lons.append(lon)
+        st.ts.append(ts)
+        st.parent.append(idx)
+        st.core.append(False)
+        eps = self.config.eps_m
+        cell = (math.floor(x / eps), math.floor(y / eps))
+        neighbors = self._neighbors(st, x, y, skip=idx)
+        st.grid.setdefault(cell, []).append(idx)
+        st.counts.append(1 + len(neighbors))
+
+        promoted: List[int] = []
+        if st.counts[idx] >= self.config.min_points:
+            promoted.append(idx)
+        for nb in neighbors:
+            st.counts[nb] += 1
+            if st.counts[nb] >= self.config.min_points and not st.core[nb]:
+                promoted.append(nb)
+        if not promoted:
+            return []
+        # Mark first, then union: when both endpoints of a core-core edge
+        # promote in the same update, the rescan still sees both flags set.
+        for p in promoted:
+            st.core[p] = True
+        events = [ClusterEvent(user_id=user_id, kind="core", index=p) for p in promoted]
+        for p in promoted:
+            for nb in self._neighbors(st, st.xs[p], st.ys[p], skip=p):
+                if st.core[nb] and st.union(p, nb):
+                    events.append(ClusterEvent(user_id=user_id, kind="merge", index=p))
+        return events
+
+    # -- finalization: batch-identical labels and POIs --------------------------
+
+    def _label_user(self, user_id: str, st: _UserClusters) -> List[ExtractedPoi]:
+        m = len(st.xs)
+        if m == 0 or not any(st.core):
+            return []
+        # Rank components by smallest core fix: scanning cores in insertion
+        # order, the first core of each root defines the component's rank.
+        rank_of_root: Dict[int, int] = {}
+        for i in range(m):
+            if st.core[i]:
+                root = st.find(i)
+                if root not in rank_of_root:
+                    rank_of_root[root] = len(rank_of_root)
+        labels = [-1] * m
+        for i in range(m):
+            if st.core[i]:
+                labels[i] = rank_of_root[st.find(i)]
+            else:
+                best = -1
+                for nb in self._neighbors(st, st.xs[i], st.ys[i], skip=i):
+                    if st.core[nb]:
+                        r = rank_of_root[st.find(nb)]
+                        if best < 0 or r < best:
+                            best = r
+                labels[i] = best
+        members: List[List[int]] = [[] for _ in range(len(rank_of_root))]
+        for i, label in enumerate(labels):
+            if label >= 0:
+                members[label].append(i)
+        pois: List[ExtractedPoi] = []
+        for group in members:
+            lats = np.asarray([st.lats[i] for i in group])
+            lons = np.asarray([st.lons[i] for i in group])
+            ts = np.asarray([st.ts[i] for i in group])
+            pois.append(
+                ExtractedPoi(
+                    user_id=user_id,
+                    lat=float(np.mean(lats)),
+                    lon=float(np.mean(lons)),
+                    t_start=float(ts.min()),
+                    t_end=float(ts.max()),
+                    n_points=int(len(group)),
+                )
+            )
+        return pois
+
+
+def replay_extract_djclusters(
+    dataset: MobilityDataset, config: Optional[DjClusterConfig] = None
+) -> Dict[str, List[ExtractedPoi]]:
+    """Replay ``dataset`` through the incremental DJ-Cluster (batch-identical)."""
+    source = ReplaySource(dataset)
+    clusterer = StreamingDjCluster(config, user_ids=source.user_ids)
+    for point in source:
+        clusterer.update(point)
+    return clusterer.finalize()

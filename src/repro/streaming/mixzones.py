@@ -1,0 +1,186 @@
+"""Sliding-window mix-zone crossing detection over point streams.
+
+The batch detector (:class:`~repro.mixzones.detection.MixZoneDetector`)
+bin-joins every pair of fixes and deduplicates confirmed co-locations to one
+crossing event per (user pair, merge window).  Here the same events are found
+online: a deque holds only the fixes of the last ``max_time_gap_s`` seconds,
+each arrival is tested against that window with the batch confirmation tests
+(distinct users, time gap, exact haversine radius), and the canonical
+representative of every (user pair, merge window) is maintained as the
+candidate with the smallest position pair — exactly the event the batch
+kernel's lexsort keeps.  A merge window is *emitted* once the stream's time
+has advanced past the point where any future arrival could still contribute
+to it, so ``update()`` yields crossing events with bounded latency and the
+resident state is O(window) + O(open merge windows), never O(history).
+
+``finalize()`` returns the full crossing list in the batch kernel's order
+and :meth:`StreamingMixZoneDetector.zones` clusters it with the batch
+detector's own zone pass — both bitwise-identical to the batch attack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.trajectory import MobilityDataset
+from ..geo.distance import haversine
+from ..mixzones.detection import CrossingEvent, MixZoneDetectionConfig, MixZoneDetector
+from ..mixzones.zones import MixZone
+from .sources import ReplaySource, StreamPoint
+
+__all__ = [
+    "StreamingCrossingDetector",
+    "StreamingMixZoneDetector",
+    "replay_find_crossings",
+    "replay_detect_mix_zones",
+]
+
+#: A pending canonical representative: (pos_lo, pos_hi, lat, lon, timestamp).
+_Candidate = Tuple[int, int, float, float, float]
+
+
+class StreamingCrossingDetector:
+    """Online co-location detection with batch-identical deduplication."""
+
+    def __init__(
+        self,
+        config: Optional[MixZoneDetectionConfig] = None,
+        user_ids: Sequence[str] = (),
+    ) -> None:
+        self.config = config or MixZoneDetectionConfig()
+        self._user_ids: List[str] = []
+        self._known: Dict[str, int] = {}
+        for user_id in user_ids:
+            self.register_user(user_id)
+        #: Fixes of the last ``max_time_gap_s`` seconds (the sliding window).
+        self._window: Deque[StreamPoint] = deque()
+        #: Open merge windows: win -> (lo_user, hi_user) -> representative.
+        self._pending: Dict[int, Dict[Tuple[int, int], _Candidate]] = {}
+        #: Closed events with their sort key (lo_user, hi_user, win).
+        self._emitted: List[Tuple[Tuple[int, int, int], CrossingEvent]] = []
+
+    def register_user(self, user_id: str) -> int:
+        index = self._known.get(user_id)
+        if index is None:
+            index = len(self._user_ids)
+            self._known[user_id] = index
+            self._user_ids.append(user_id)
+        return index
+
+    @property
+    def window_points(self) -> int:
+        """Fixes currently inside the sliding window (resident state)."""
+        return len(self._window)
+
+    # -- online updates ---------------------------------------------------------
+
+    def update(self, point: StreamPoint) -> List[CrossingEvent]:
+        """Feed one fix; return crossing events whose merge windows closed."""
+        cfg = self.config
+        self.register_user(point.user_id)
+        window = self._window
+        floor_ts = point.timestamp - cfg.max_time_gap_s
+        while window and window[0].timestamp < floor_ts:
+            window.popleft()
+        divisor = max(cfg.merge_gap_s, 1.0)
+        for other in window:
+            if other.user_index == point.user_index:
+                continue
+            if haversine(other.lat, other.lon, point.lat, point.lon) > cfg.radius_m:
+                continue
+            # ``other`` arrived first, so its columnar index is the pair's
+            # smaller one whenever its user index is smaller; the canonical
+            # representative minimises (pos of lo user, pos of hi user).
+            if other.user_index < point.user_index:
+                lo, hi = other, point
+            else:
+                lo, hi = point, other
+            win = int(min(other.timestamp, point.timestamp) // divisor)
+            key = (lo.user_index, hi.user_index)
+            candidate: _Candidate = (
+                lo.pos,
+                hi.pos,
+                (other.lat + point.lat) / 2.0,
+                (other.lon + point.lon) / 2.0,
+                (other.timestamp + point.timestamp) / 2.0,
+            )
+            bucket = self._pending.setdefault(win, {})
+            held = bucket.get(key)
+            if held is None or candidate[:2] < held[:2]:
+                bucket[key] = candidate
+        window.append(point)
+        # A future pair's earliest timestamp is at least now - gap, so any
+        # merge window strictly before that boundary is final.
+        boundary = int(floor_ts // divisor)
+        closed = [win for win in self._pending if win < boundary]
+        events: List[CrossingEvent] = []
+        for win in sorted(closed):
+            events.extend(self._close(win))
+        return events
+
+    def finalize(self) -> List[CrossingEvent]:
+        """All crossing events, in the batch kernel's canonical order."""
+        for win in sorted(self._pending):
+            self._close(win)
+        self._emitted.sort(key=lambda item: item[0])
+        return [event for _, event in self._emitted]
+
+    def _close(self, win: int) -> List[CrossingEvent]:
+        events: List[CrossingEvent] = []
+        for (lo_user, hi_user), candidate in self._pending.pop(win).items():
+            event = CrossingEvent(
+                lat=candidate[2],
+                lon=candidate[3],
+                timestamp=candidate[4],
+                user_a=self._user_ids[lo_user],
+                user_b=self._user_ids[hi_user],
+            )
+            self._emitted.append(((lo_user, hi_user, win), event))
+            events.append(event)
+        return events
+
+
+class StreamingMixZoneDetector:
+    """Online crossing detection plus the batch zone-clustering pass."""
+
+    def __init__(
+        self,
+        config: Optional[MixZoneDetectionConfig] = None,
+        user_ids: Sequence[str] = (),
+    ) -> None:
+        self.config = config or MixZoneDetectionConfig()
+        self._detector = MixZoneDetector(self.config)
+        self.crossings = StreamingCrossingDetector(self.config, user_ids=user_ids)
+
+    def update(self, point: StreamPoint) -> List[CrossingEvent]:
+        return self.crossings.update(point)
+
+    def finalize(self) -> List[MixZone]:
+        """The stream's mix-zones, bitwise-identical to the batch detector."""
+        events = self.crossings.finalize()
+        zones = self._detector._cluster_events(events)
+        zones = [z for z in zones if z.n_participants >= self.config.min_users]
+        return sorted(zones, key=lambda z: z.midpoint_time)
+
+
+def replay_find_crossings(
+    dataset: MobilityDataset, config: Optional[MixZoneDetectionConfig] = None
+) -> List[CrossingEvent]:
+    """Replay ``dataset`` through the sliding-window detector (batch-identical)."""
+    source = ReplaySource(dataset)
+    detector = StreamingCrossingDetector(config, user_ids=source.user_ids)
+    for point in source:
+        detector.update(point)
+    return detector.finalize()
+
+
+def replay_detect_mix_zones(
+    dataset: MobilityDataset, config: Optional[MixZoneDetectionConfig] = None
+) -> List[MixZone]:
+    """Replay ``dataset`` through the streaming detector (batch-identical zones)."""
+    source = ReplaySource(dataset)
+    detector = StreamingMixZoneDetector(config, user_ids=source.user_ids)
+    for point in source:
+        detector.update(point)
+    return detector.finalize()

@@ -1,0 +1,157 @@
+"""Incremental stay-point extraction over per-user point streams.
+
+The batch attack (:class:`~repro.attacks.poi_extraction.PoiExtractor`) scans
+a finished trace with a two-pointer window.  Here the same scan runs *online*
+as an appendable window: each user keeps only the fixes of the currently open
+candidate stay, a new point is verified against the open window's anchor as
+it arrives, and a stay is emitted the moment a violating point (or a
+too-large sampling gap) closes the window — memory is O(open window) per
+user, never O(history).
+
+``finalize()`` drains the open windows and runs the batch extractor's own
+merge pass, so its output is bitwise-identical to
+``PoiExtractor.extract_dataset`` on the same data: the window arithmetic
+below replays the scalar scan's float operations exactly (which the batch
+vectorized kernel is in turn pinned against), and centroid emission uses the
+same ``np.mean`` over the same values in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks.poi_extraction import ExtractedPoi, PoiExtractionConfig, PoiExtractor
+from ..core.trajectory import MobilityDataset
+from ..geo.distance import haversine
+from .sources import ReplaySource, StreamPoint
+
+__all__ = ["StreamingPoiExtractor", "replay_extract_staypoints"]
+
+
+class _OpenWindow:
+    """The currently open candidate stay of one user (parallel value lists)."""
+
+    __slots__ = ("ts", "lats", "lons", "verified")
+
+    def __init__(self) -> None:
+        self.ts: List[float] = []
+        self.lats: List[float] = []
+        self.lons: List[float] = []
+        #: Fixes after the anchor already verified against it (gap + extent),
+        #: so an arrival only checks the new fixes — never a full rescan.
+        self.verified: int = 0
+
+
+class StreamingPoiExtractor:
+    """Online stay-point extraction with ``update(point) -> stays``.
+
+    Stays are emitted unmerged as their windows close; :meth:`finalize`
+    returns the per-user merged POIs of the whole stream, pinned
+    bitwise-identical to the batch ``extract_dataset``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PoiExtractionConfig] = None,
+        user_ids: Sequence[str] = (),
+    ) -> None:
+        self.config = config or PoiExtractionConfig()
+        self._batch = PoiExtractor(self.config)
+        self._windows: Dict[str, _OpenWindow] = {}
+        self._stays: Dict[str, List[ExtractedPoi]] = {}
+        for user_id in user_ids:
+            self.register_user(user_id)
+
+    def register_user(self, user_id: str) -> None:
+        """Declare a user (streams may also introduce users via points)."""
+        if user_id not in self._stays:
+            self._stays[user_id] = []
+            self._windows[user_id] = _OpenWindow()
+
+    @property
+    def open_points(self) -> int:
+        """Fixes currently buffered across all open windows (resident state)."""
+        return sum(len(w.ts) for w in self._windows.values())
+
+    # -- online updates ---------------------------------------------------------
+
+    def update(self, point: StreamPoint) -> List[ExtractedPoi]:
+        """Append one fix; return the stays whose windows it closed."""
+        self.register_user(point.user_id)
+        window = self._windows[point.user_id]
+        window.ts.append(point.timestamp)
+        window.lats.append(point.lat)
+        window.lons.append(point.lon)
+        return self._resolve(point.user_id, window, final=False)
+
+    def finalize(self) -> Dict[str, List[ExtractedPoi]]:
+        """Drain open windows; per-user merged POIs (batch-identical)."""
+        for user_id, window in self._windows.items():
+            self._resolve(user_id, window, final=True)
+        return {
+            user_id: self._batch._merge(stays)
+            for user_id, stays in self._stays.items()
+        }
+
+    # -- the appendable-window scan ---------------------------------------------
+
+    def _resolve(self, user_id: str, window: _OpenWindow, final: bool) -> List[ExtractedPoi]:
+        """Advance the two-pointer scan as far as the buffered fixes allow.
+
+        Exactly the batch scan with the trace cut at the buffer end: extend
+        ``j`` from the anchor while the gap and extent tests pass; when a fix
+        violates (or, on ``final``, the stream ends) the window resolves —
+        emit if it lasted long enough, then restart after it (or one past the
+        anchor) and re-verify the surviving fixes against the new anchor.
+        """
+        cfg = self.config
+        ts, lats, lons = window.ts, window.lats, window.lons
+        emitted: List[ExtractedPoi] = []
+        while ts:
+            n = len(ts)
+            j = window.verified + 1
+            cut = -1
+            while j < n:
+                if ts[j] - ts[j - 1] > cfg.max_gap_s:
+                    cut = j
+                    break
+                if haversine(lats[0], lons[0], lats[j], lons[j]) > cfg.max_diameter_m:
+                    cut = j
+                    break
+                j += 1
+            if cut < 0:
+                window.verified = n - 1
+                if not final:
+                    break
+                cut = n  # end of stream: resolve the whole open window
+            duration = ts[cut - 1] - ts[0]
+            if duration >= cfg.min_duration_s and cut >= 2:
+                stay = ExtractedPoi(
+                    user_id=user_id,
+                    lat=float(np.mean(np.asarray(lats[:cut]))),
+                    lon=float(np.mean(np.asarray(lons[:cut]))),
+                    t_start=float(ts[0]),
+                    t_end=float(ts[cut - 1]),
+                    n_points=int(cut),
+                )
+                self._stays[user_id].append(stay)
+                emitted.append(stay)
+                drop = cut
+            else:
+                drop = 1
+            del ts[:drop], lats[:drop], lons[:drop]
+            window.verified = 0
+        return emitted
+
+
+def replay_extract_staypoints(
+    dataset: MobilityDataset, config: Optional[PoiExtractionConfig] = None
+) -> Dict[str, List[ExtractedPoi]]:
+    """Replay ``dataset`` through the streaming extractor (batch-identical)."""
+    source = ReplaySource(dataset)
+    extractor = StreamingPoiExtractor(config, user_ids=source.user_ids)
+    for point in source:
+        extractor.update(point)
+    return extractor.finalize()

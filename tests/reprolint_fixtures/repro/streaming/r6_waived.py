@@ -1,0 +1,10 @@
+"""R6 fixture: an intrinsic full-history scan waived at the def line."""
+
+
+class DensityScanner:
+    def __init__(self):
+        self._stationary = []
+
+    def update(self, point):  # repro: allow=R6 -- density clusters are defined over all stationary fixes
+        self._stationary.append(point)
+        return [p for p in self._stationary if p.user_id == point.user_id]

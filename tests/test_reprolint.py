@@ -144,6 +144,37 @@ class TestSpawnSafetyRule:
         assert findings_for(fixture("repro", "experiments", "r5_waived.py"), "R5") == []
 
 
+# ------------------------------------------------------- R6 streaming incrementality
+
+
+class TestStreamingIncrementalityRule:
+    def test_violating_fixture_flags_history_rescans(self):
+        found = findings_for(fixture("repro", "streaming", "r6_violating.py"), "R6")
+        messages = " | ".join(f.message for f in found)
+        assert len(found) == 3
+        assert "self._history" in messages, "direct rescan in update()"
+        assert "self._by_user" in messages, "rescan in an update()-reachable helper"
+        assert "self._events" in messages, "rescan through a local alias + sorted()"
+        assert all("O(history)" in f.message for f in found)
+        assert all(f.scope_line is not None for f in found), "def-line waivers work"
+
+    def test_conforming_fixture_is_clean(self):
+        # A pruned deque window, bucket probes into an append-only grid, and a
+        # full-state fold in finalize() are all legal.
+        assert findings_for(fixture("repro", "streaming", "r6_conforming.py"), "R6") == []
+
+    def test_waived_fixture_is_suppressed(self):
+        assert findings_for(fixture("repro", "streaming", "r6_waived.py"), "R6") == []
+
+    def test_scope_is_limited_to_streaming_modules(self, tmp_path):
+        # The same violating source outside repro/streaming/ yields nothing.
+        src = open(fixture("repro", "streaming", "r6_violating.py")).read()
+        other = tmp_path / "repro" / "attacks" / "scanner.py"
+        other.parent.mkdir(parents=True)
+        other.write_text(src)
+        assert findings_for(str(other), "R6") == []
+
+
 # ---------------------------------------------------------------- R2 cache-key drift
 
 
@@ -269,7 +300,7 @@ class TestIndexAndCli:
     def test_cli_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rule_id in out
 
     def test_module_entry_point(self):

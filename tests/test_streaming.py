@@ -1,0 +1,388 @@
+"""Streaming tier tests: incremental attacks pinned bitwise to batch.
+
+The property suite generates randomized multi-user datasets — gappy sampling,
+duplicate timestamps, stationary dwells, users with zero or one fix — and
+asserts that every incremental attack's ``finalize()`` equals the batch
+attack exactly (``==`` on the emitted dataclasses, which are float-for-float
+comparisons).  Deterministic tests cover the source ordering contract, the
+per-arrival event APIs, the engine's ``mode="stream"`` routing and the
+validation surfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.djcluster import DjCluster, DjClusterConfig
+from repro.attacks.poi_extraction import PoiExtractionConfig, PoiExtractor
+from repro.attacks.reident import (
+    FootprintReidentifier,
+    ReidentificationConfig,
+    Reidentifier,
+)
+from repro.core.trajectory import MobilityDataset, Trajectory
+from repro.experiments.engine import EvaluationEngine, ExperimentSpec
+from repro.experiments.worlds import make_world
+from repro.experiments.workloads import split_train_publish
+from repro.mixzones.detection import MixZoneDetectionConfig, MixZoneDetector
+from repro.streaming import (
+    LiveSource,
+    OnlineReidentifier,
+    ReplaySource,
+    StreamingCrossingDetector,
+    StreamingDjCluster,
+    StreamingPoiExtractor,
+    replay_detect_mix_zones,
+    replay_extract_djclusters,
+    replay_extract_staypoints,
+    replay_find_crossings,
+    replay_reidentify,
+)
+
+BASE_LAT, BASE_LON = 45.764, 4.836
+
+
+# ---------------------------------------------------------------------------
+# Randomized datasets: dwells, movement, gaps, degenerate sampling
+# ---------------------------------------------------------------------------
+
+
+def _random_trajectory(rng: np.random.Generator, user_id: str, n: int) -> Trajectory:
+    """A walk mixing dwells, movement, recording gaps and duplicate stamps."""
+    moving = rng.random(n) < 0.6
+    step_m = np.where(moving, rng.uniform(50.0, 400.0, n), rng.uniform(0.0, 8.0, n))
+    bearings = rng.uniform(0.0, 2 * np.pi, n)
+    dlat = step_m * np.cos(bearings) / 111_195.0
+    dlon = step_m * np.sin(bearings) / (111_195.0 * np.cos(np.radians(BASE_LAT)))
+    lats = BASE_LAT + rng.uniform(-0.01, 0.01) + np.cumsum(dlat)
+    lons = BASE_LON + rng.uniform(-0.01, 0.01) + np.cumsum(dlon)
+    intervals = rng.uniform(5.0, 240.0, n)
+    intervals[rng.random(n) < 0.05] = 0.0  # duplicate timestamps
+    intervals[rng.random(n) < 0.08] *= 100.0  # recording gaps
+    times = 1_000_000.0 + np.cumsum(intervals)
+    return Trajectory(user_id, times, lats, lons)
+
+
+@st.composite
+def random_datasets(draw, max_users: int = 5, max_points: int = 120):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for k in range(n_users):
+        # Degenerate users ride along: empty and single-fix traces.
+        n = int(rng.integers(0, max_points))
+        if n == 0:
+            trajectories.append(Trajectory.empty(f"u{k}"))
+        else:
+            trajectories.append(_random_trajectory(rng, f"u{k}", n))
+    return MobilityDataset(trajectories)
+
+
+class TestStreamingStaypointsProperty:
+    @given(
+        dataset=random_datasets(),
+        min_duration_s=st.sampled_from([120.0, 600.0]),
+        max_diameter_m=st.sampled_from([100.0, 250.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_batch(self, dataset, min_duration_s, max_diameter_m):
+        config = PoiExtractionConfig(
+            min_duration_s=min_duration_s,
+            max_diameter_m=max_diameter_m,
+            merge_distance_m=max_diameter_m / 2.0,
+        )
+        batch = PoiExtractor(config).extract_dataset(dataset)
+        stream = replay_extract_staypoints(dataset, config)
+        assert stream == batch
+
+
+class TestStreamingDjClusterProperty:
+    @given(
+        dataset=random_datasets(),
+        eps_m=st.sampled_from([60.0, 150.0]),
+        min_points=st.sampled_from([3, 5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_batch(self, dataset, eps_m, min_points):
+        config = DjClusterConfig(eps_m=eps_m, min_points=min_points)
+        batch = DjCluster(config).extract_dataset(dataset)
+        stream = replay_extract_djclusters(dataset, config)
+        assert stream == batch
+
+
+class TestStreamingMixZonesProperty:
+    @given(
+        dataset=random_datasets(),
+        radius_m=st.sampled_from([150.0, 400.0]),
+        merge_gap_s=st.sampled_from([0.0, 600.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_batch(self, dataset, radius_m, merge_gap_s):
+        config = MixZoneDetectionConfig(
+            radius_m=radius_m, max_time_gap_s=180.0, merge_gap_s=merge_gap_s
+        )
+        detector = MixZoneDetector(config)
+        assert replay_find_crossings(dataset, config) == detector.find_crossings(dataset)
+        assert replay_detect_mix_zones(dataset, config) == detector.detect(dataset)
+
+
+class TestOnlineReidentProperty:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_incremental_equals_batch(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = MobilityDataset(
+            [_random_trajectory(rng, f"u{k}", 80) for k in range(3)]
+        )
+        world = _DatasetWorld(dataset)
+        training, published = split_train_publish(world, 0.5)
+        poi_attacker = Reidentifier(ReidentificationConfig(match_distance_m=250.0))
+        poi_knowledge = poi_attacker.knowledge_from_dataset(training)
+        fp_attacker = FootprintReidentifier()
+        fp_knowledge = fp_attacker.knowledge_from_dataset(
+            training, bbox=dataset.bbox.expanded(500.0)
+        )
+        stream_poi, stream_fp = replay_reidentify(
+            published, poi_attacker, fp_attacker, poi_knowledge, fp_knowledge
+        )
+        batch_poi = poi_attacker.attack(published, poi_knowledge)
+        batch_fp = fp_attacker.attack(published, fp_knowledge)
+        assert stream_poi.predicted == batch_poi.predicted
+        assert stream_poi.scores == batch_poi.scores
+        assert stream_fp.predicted == batch_fp.predicted
+        assert stream_fp.scores == batch_fp.scores
+
+
+class _DatasetWorld:
+    """Minimal world wrapper for split_train_publish over a raw dataset."""
+
+    def __init__(self, dataset: MobilityDataset) -> None:
+        self.dataset = dataset
+
+
+# ---------------------------------------------------------------------------
+# Sources: ordering contract and the synthetic live generator
+# ---------------------------------------------------------------------------
+
+
+class TestReplaySource:
+    @given(dataset=random_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_yields_stable_global_timestamp_order(self, dataset):
+        traces = dataset.columnar()
+        points = list(ReplaySource(dataset))
+        assert len(points) == traces.n_points
+        # Non-decreasing timestamps, ties broken by (user_index, pos) — the
+        # order a stable sort of the flattened timestamp array produces.
+        keys = [(p.timestamp, p.user_index, p.pos) for p in points]
+        assert keys == sorted(keys)
+        flat = [int(traces.offsets[p.user_index]) + p.pos for p in points]
+        expected = np.argsort(traces.timestamps, kind="stable")
+        assert flat == list(expected)
+
+    def test_empty_dataset(self):
+        source = ReplaySource(MobilityDataset())
+        assert list(source) == []
+        assert source.user_ids == ()
+
+    def test_point_values_match_columnar_view(self):
+        world = make_world("standard:scale=tiny,seed=5")
+        traces = world.dataset.columnar()
+        for point in ReplaySource(world.dataset):
+            flat = int(traces.offsets[point.user_index]) + point.pos
+            assert point.lat == float(traces.lats[flat])
+            assert point.lon == float(traces.lons[flat])
+            assert point.timestamp == float(traces.timestamps[flat])
+            assert point.user_id == traces.user_ids[point.user_index]
+
+
+class TestLiveSource:
+    def test_seeded_stream_is_reproducible(self):
+        a = list(LiveSource(n_users=3, n_points=200, seed=9))
+        b = list(LiveSource(n_users=3, n_points=200, seed=9))
+        assert a == b
+        assert len(a) == 200
+        assert list(LiveSource(n_users=3, n_points=200, seed=10)) != a
+
+    def test_timestamps_non_decreasing_and_users_cycle(self):
+        points = list(LiveSource(n_users=4, n_points=100, seed=1))
+        stamps = [p.timestamp for p in points]
+        assert stamps == sorted(stamps)
+        assert {p.user_id for p in points} == {f"live-{i:03d}" for i in range(4)}
+
+    def test_dwells_produce_staypoints(self):
+        source = LiveSource(n_users=2, n_points=2000, seed=3)
+        extractor = StreamingPoiExtractor(
+            PoiExtractionConfig(min_duration_s=600.0), user_ids=source.user_ids
+        )
+        for point in source:
+            extractor.update(point)
+        pois = extractor.finalize()
+        assert any(pois[user] for user in source.user_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveSource(n_users=0)
+        with pytest.raises(ValueError):
+            LiveSource(n_points=-1)
+
+
+# ---------------------------------------------------------------------------
+# Per-arrival event APIs
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateEvents:
+    def test_staypoint_emitted_at_window_close_not_finalize(self):
+        """A stay followed by a departure must surface from update()."""
+        dwell = [(1_000_000.0 + 60.0 * i, BASE_LAT, BASE_LON) for i in range(20)]
+        away = [(1_000_000.0 + 60.0 * 20 + 30.0 * i, BASE_LAT + 0.05, BASE_LON) for i in range(5)]
+        traj = Trajectory(
+            "u0",
+            [t for t, _, _ in dwell + away],
+            [lat for _, lat, _ in dwell + away],
+            [lon for _, _, lon in dwell + away],
+        )
+        emitted = []
+        extractor = StreamingPoiExtractor(
+            PoiExtractionConfig(min_duration_s=600.0), user_ids=("u0",)
+        )
+        for point in ReplaySource(MobilityDataset([traj])):
+            emitted.extend(extractor.update(point))
+        assert len(emitted) == 1
+        assert emitted[0].n_points == 20
+
+    def test_djcluster_core_events(self):
+        """Enough co-located fixes promote a core and report it from update()."""
+        times = [1_000_000.0 + 30.0 * i for i in range(10)]
+        traj = Trajectory("u0", times, [BASE_LAT] * 10, [BASE_LON] * 10)
+        clusterer = StreamingDjCluster(
+            DjClusterConfig(eps_m=100.0, min_points=4), user_ids=("u0",)
+        )
+        events = []
+        for point in ReplaySource(MobilityDataset([traj])):
+            events.extend(clusterer.update(point))
+        assert any(e.kind == "core" for e in events)
+        pois = clusterer.finalize()
+        assert len(pois["u0"]) == 1
+        # finalize is idempotent: a second call returns the same POIs.
+        assert clusterer.finalize() == pois
+
+    def test_crossing_event_emitted_once_window_closes(self):
+        config = MixZoneDetectionConfig(
+            radius_m=100.0, max_time_gap_s=60.0, merge_gap_s=120.0
+        )
+        a = Trajectory("a", [0.0, 10.0], [BASE_LAT] * 2, [BASE_LON] * 2)
+        b = Trajectory(
+            "b", [5.0, 15.0, 10_000.0], [BASE_LAT] * 3, [BASE_LON, BASE_LON, BASE_LON + 1.0]
+        )
+        detector = StreamingCrossingDetector(config, user_ids=("a", "b"))
+        live_events = []
+        for point in ReplaySource(MobilityDataset([a, b])):
+            live_events.extend(detector.update(point))
+        # The far-future fix of user b pushed time past the merge window, so
+        # the crossing surfaced from update(), before finalize.
+        assert len(live_events) == 1
+        assert {live_events[0].user_a, live_events[0].user_b} == {"a", "b"}
+        assert detector.finalize() == live_events
+
+    def test_online_reident_score_events(self):
+        world = make_world("standard:scale=tiny,seed=5")
+        training, published = split_train_publish(world, 0.5)
+        poi_attacker = Reidentifier()
+        poi_knowledge = poi_attacker.knowledge_from_dataset(training)
+        fp_attacker = FootprintReidentifier()
+        fp_knowledge = fp_attacker.knowledge_from_dataset(training)
+        source = ReplaySource(published)
+        online = OnlineReidentifier(
+            poi_attacker, fp_attacker, poi_knowledge, fp_knowledge,
+            user_ids=source.user_ids,
+        )
+        kinds = set()
+        for point in source:
+            for event in online.update(point):
+                kinds.add(event.kind)
+                assert set(event.scores) == set(poi_knowledge)
+        assert "footprint" in kinds  # every first fix opens at least one cell
+
+    def test_online_reident_requires_a_grid(self):
+        with pytest.raises(ValueError):
+            OnlineReidentifier(
+                Reidentifier(), FootprintReidentifier(), {}, {}, grid=None
+            )
+
+
+# ---------------------------------------------------------------------------
+# Engine routing and validation
+# ---------------------------------------------------------------------------
+
+
+class TestEngineStreamMode:
+    def test_stream_rows_equal_batch_rows(self):
+        spec = ExperimentSpec(
+            name="stream-mode-test",
+            mechanisms=["identity", "downsampling:factor=5"],
+            attacks=[
+                "poi-retrieval:algorithm=staypoint",
+                "poi-retrieval:algorithm=djcluster",
+                "zone-census:radius_m=100",
+            ],
+            worlds=["standard:scale=tiny,seed=5"],
+            seeds=[0],
+        )
+        batch = EvaluationEngine(cache=False).run(spec)
+        stream = EvaluationEngine(cache=False).run(
+            dataclasses.replace(spec, mode="stream")
+        )
+        assert stream == batch
+
+    def test_reident_stream_rows_equal_batch_rows(self):
+        spec = ExperimentSpec(
+            name="stream-mode-reident-test",
+            mechanisms=["pseudonyms:seed=1"],
+            attacks=["reident:train_fraction=0.5"],
+            worlds=["standard:scale=tiny,seed=5"],
+            seeds=[0],
+            input="publish-half:train_fraction=0.5",
+        )
+        batch = EvaluationEngine(cache=False).run(spec)
+        stream = EvaluationEngine(cache=False).run(
+            dataclasses.replace(spec, mode="stream")
+        )
+        assert stream == batch
+
+    def test_mode_changes_the_cache_key(self):
+        spec = ExperimentSpec(
+            name="stream-mode-key-test",
+            mechanisms=["identity"],
+            attacks=["zone-census:radius_m=100"],
+            worlds=["standard:scale=tiny,seed=5"],
+            seeds=[0],
+        )
+        engine = EvaluationEngine()
+        engine.run(spec)
+        misses = engine.cache_misses
+        engine.run(dataclasses.replace(spec, mode="stream"))
+        assert engine.cache_misses == 2 * misses  # stream cells did not alias
+
+    def test_unknown_mode_rejected(self):
+        spec = ExperimentSpec(name="bad", mechanisms=["identity"], mode="live")
+        with pytest.raises(Exception, match="mode"):
+            EvaluationEngine(cache=False).run(spec)
+
+    def test_unknown_execution_rejected(self):
+        from repro.api.evaluators import (
+            PoiRetrievalEvaluator,
+            ReidentEvaluator,
+            ZoneCensusEvaluator,
+        )
+
+        for cls in (PoiRetrievalEvaluator, ReidentEvaluator, ZoneCensusEvaluator):
+            with pytest.raises(Exception, match="execution"):
+                cls(execution="online")
