@@ -27,8 +27,6 @@ both engines of this attack share it.  The end-to-end ``attack()`` wall
 
 from __future__ import annotations
 
-import time
-
 from repro.attacks.reident import (
     FootprintReidentifier,
     ReidentificationConfig,
@@ -91,20 +89,13 @@ PRE_REFACTOR_S = {
 }
 
 
-def _best_of(fn, repeats: int = 3):
-    result, best = None, float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
-
-
 def _reident_results_equal(a, b) -> bool:
     return a.predicted == b.predicted and a.scores == b.scores
 
 
-def test_e4_attack_engines(crossing_eval_world, bench_artifact, evaluation_scale):
+def test_e4_attack_engines(
+    crossing_eval_world, bench_artifact, bench_timer, evaluation_scale
+):
     """The three E4/E5 adversaries, columnar kernels versus scalar oracles."""
     world = crossing_eval_world
     training, publish = split_train_publish(world, 0.5)
@@ -113,16 +104,21 @@ def test_e4_attack_engines(crossing_eval_world, bench_artifact, evaluation_scale
 
     timings, rows = {}, []
 
-    def record(attack: str, vec_s: float, ref_s: float, extra_vec=None):
+    def record(attack: str, vec_samples: list, ref_samples: list, extra_vec=None):
         before = PRE_REFACTOR_S.get((attack, evaluation_scale))
+        vec_s, ref_s = min(vec_samples), min(ref_samples)
         timings[f"{attack}_vectorized"] = {
             "wall_s": vec_s,
+            "wall_s_samples": vec_samples,
             "pre_refactor_wall_s": before,
             "speedup_vs_reference": ref_s / vec_s if vec_s > 0 else None,
         }
-        timings[f"{attack}_reference"] = {"wall_s": ref_s}
+        timings[f"{attack}_reference"] = {"wall_s": ref_s, "wall_s_samples": ref_samples}
         if extra_vec is not None:
-            timings[f"{attack}_attack_vectorized"] = {"wall_s": extra_vec}
+            timings[f"{attack}_attack_vectorized"] = {
+                "wall_s": min(extra_vec),
+                "wall_s_samples": extra_vec,
+            }
         rows.append(
             {
                 "attack": attack,
@@ -137,34 +133,34 @@ def test_e4_attack_engines(crossing_eval_world, bench_artifact, evaluation_scale
     poi_r = Reidentifier(ReidentificationConfig(engine="reference"))
     knowledge = poi_v.knowledge_from_dataset(training)
     extracted = poi_v._extractor.extract_dataset(publish)
-    out_v, vec_s = _best_of(lambda: poi_v.attack(publish, knowledge, extracted))
-    out_r, ref_s = _best_of(lambda: poi_r.attack(publish, knowledge, extracted))
+    out_v, vec_samples = bench_timer(lambda: poi_v.attack(publish, knowledge, extracted))
+    out_r, ref_samples = bench_timer(lambda: poi_r.attack(publish, knowledge, extracted))
     assert _reident_results_equal(out_v, out_r), "reident engines must agree"
-    _, end_to_end_s = _best_of(lambda: poi_v.attack(publish, knowledge))
-    record("reident_poi", vec_s, ref_s, extra_vec=end_to_end_s)
+    _, end_to_end = bench_timer(lambda: poi_v.attack(publish, knowledge))
+    record("reident_poi", vec_samples, ref_samples, extra_vec=end_to_end)
 
     # -- spatial-footprint matcher (footprints + Jaccard + assignment) ---------
     fp_v = FootprintReidentifier()
     fp_r = FootprintReidentifier(engine="reference")
     fp_knowledge = fp_v.knowledge_from_dataset(training)
     fp_r.knowledge_from_dataset(training)  # same deterministic grid
-    out_v, vec_s = _best_of(lambda: fp_v.attack(publish, fp_knowledge))
-    out_r, ref_s = _best_of(lambda: fp_r.attack(publish, fp_knowledge))
+    out_v, vec_samples = bench_timer(lambda: fp_v.attack(publish, fp_knowledge))
+    out_r, ref_samples = bench_timer(lambda: fp_r.attack(publish, fp_knowledge))
     assert _reident_results_equal(out_v, out_r), "footprint engines must agree"
-    record("reident_footprint", vec_s, ref_s)
+    record("reident_footprint", vec_samples, ref_samples)
 
     # -- multi-target tracking over every detected zone ------------------------
     zones = detect_mix_zones(world.dataset, radius_m=100.0)
     tracker_v = MultiTargetTracker()
     tracker_r = MultiTargetTracker(TrackingConfig(engine="reference"))
-    links_v, vec_s = _best_of(lambda: tracker_v.link_zones(world.dataset, zones))
-    links_r, ref_s = _best_of(lambda: tracker_r.link_zones(world.dataset, zones))
+    links_v, vec_samples = bench_timer(lambda: tracker_v.link_zones(world.dataset, zones))
+    links_r, ref_samples = bench_timer(lambda: tracker_r.link_zones(world.dataset, zones))
     assert len(links_v) == len(links_r)
     for linkage_v, linkage_r in zip(links_v, links_r):
         assert linkage_v.links == linkage_r.links, "tracking engines must agree"
         assert linkage_v.incoming == linkage_r.incoming
         assert linkage_v.outgoing == linkage_r.outgoing
-    record("tracking", vec_s, ref_s)
+    record("tracking", vec_samples, ref_samples)
 
     path = bench_artifact(
         "e4_reident",

@@ -9,8 +9,6 @@ throughput does not collapse with size (the pipeline is near-linear).
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.core.pipeline import Anonymizer
@@ -55,7 +53,7 @@ def test_e7_smoothing_only_throughput(benchmark, sized_worlds):
 
 
 def test_e7_out_of_core_throughput(
-    sized_worlds, tmp_path_factory, bench_artifact, evaluation_scale
+    sized_worlds, tmp_path_factory, bench_artifact, bench_timer, evaluation_scale
 ):
     """The full pipeline on a memmap-backed world, versus the in-memory one.
 
@@ -69,30 +67,25 @@ def test_e7_out_of_core_throughput(
         world.dataset, tmp_path_factory.mktemp("e7-store") / "world"
     )
 
-    def best_of(fn, repeats=3):
-        result, best = None, float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - start)
-        return result, best
-
-    (published_memory, _), memory_s = best_of(
+    (published_memory, _), memory_samples = bench_timer(
         lambda: Anonymizer().publish(world.dataset)
     )
-    (published_store, _), store_s = best_of(
+    (published_store, _), store_samples = bench_timer(
         lambda: Anonymizer().publish(store.dataset())
     )
     assert published_store.n_points == published_memory.n_points
+    memory_s, store_s = min(memory_samples), min(store_samples)
 
     n_points = world.dataset.n_points
     timings = {
         "pipeline_memory": {
             "wall_s": memory_s,
+            "wall_s_samples": memory_samples,
             "points_per_s": n_points / memory_s if memory_s > 0 else None,
         },
         "pipeline_store": {
             "wall_s": store_s,
+            "wall_s_samples": store_samples,
             "points_per_s": n_points / store_s if store_s > 0 else None,
         },
     }

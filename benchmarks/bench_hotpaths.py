@@ -13,8 +13,6 @@ the same workloads this bench generates.
 
 from __future__ import annotations
 
-import time
-
 from repro.baselines.wait4me import Wait4MeConfig, Wait4MeMechanism
 from repro.experiments.formatting import format_table
 from repro.mixzones.detection import detect_mix_zones
@@ -29,19 +27,12 @@ PRE_REFACTOR_S = {
 }
 
 
-def _best_of(fn, repeats: int = 3):
-    result, best = None, float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
-
-
-def _cell_timing(cell: str, scale: str, wall_s: float, points: int) -> dict:
+def _cell_timing(cell: str, scale: str, samples: list, points: int) -> dict:
     before = PRE_REFACTOR_S.get((cell, scale))
+    wall_s = min(samples)
     return {
         "wall_s": wall_s,
+        "wall_s_samples": list(samples),
         # None (not inf/NaN) when the timer under-resolves: the artifact
         # writer emits strict JSON only.
         "points_per_s": points / wall_s if wall_s > 0 else None,
@@ -50,20 +41,26 @@ def _cell_timing(cell: str, scale: str, wall_s: float, points: int) -> dict:
     }
 
 
-def test_hotpaths(eval_world, crossing_eval_world, bench_artifact, evaluation_scale):
+def test_hotpaths(
+    eval_world, crossing_eval_world, bench_artifact, bench_timer, evaluation_scale
+):
     crossing = crossing_eval_world.dataset
     standard = eval_world.dataset
 
-    zones, mixzone_s = _best_of(lambda: detect_mix_zones(crossing, radius_m=100.0))
+    zones, mixzone_samples = bench_timer(
+        lambda: detect_mix_zones(crossing, radius_m=100.0)
+    )
     mechanism = Wait4MeMechanism(Wait4MeConfig(k=4, delta_m=500.0))
-    published, wait4me_s = _best_of(lambda: mechanism.publish(standard), repeats=5)
+    published, wait4me_samples = bench_timer(
+        lambda: mechanism.publish(standard), repeats=5
+    )
 
     timings = {
         "detect_mix_zones": _cell_timing(
-            "detect_mix_zones", evaluation_scale, mixzone_s, crossing.n_points
+            "detect_mix_zones", evaluation_scale, mixzone_samples, crossing.n_points
         ),
         "wait4me_publish": _cell_timing(
-            "wait4me_publish", evaluation_scale, wait4me_s, standard.n_points
+            "wait4me_publish", evaluation_scale, wait4me_samples, standard.n_points
         ),
     }
     rows = [

@@ -64,16 +64,9 @@ def _stream_timing(
     }
 
 
-def _batch_wall_s(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_stream(eval_world, crossing_eval_world, bench_artifact, evaluation_scale):
+def test_stream(
+    eval_world, crossing_eval_world, bench_artifact, bench_timer, evaluation_scale
+):
     standard = eval_world.dataset
     crossing = crossing_eval_world.dataset
 
@@ -110,14 +103,14 @@ def test_stream(eval_world, crossing_eval_world, bench_artifact, evaluation_scal
             live.n_points,
         ),
     }
-    timings["stream_staypoints"]["batch_wall_s"] = _batch_wall_s(
-        lambda: PoiExtractor(poi_config).extract_dataset(standard)
+    timings["stream_staypoints"]["batch_wall_s"] = min(
+        bench_timer(lambda: PoiExtractor(poi_config).extract_dataset(standard))[1]
     )
-    timings["stream_djcluster"]["batch_wall_s"] = _batch_wall_s(
-        lambda: DjCluster(dj_config).extract_dataset(standard)
+    timings["stream_djcluster"]["batch_wall_s"] = min(
+        bench_timer(lambda: DjCluster(dj_config).extract_dataset(standard))[1]
     )
-    timings["stream_mixzones"]["batch_wall_s"] = _batch_wall_s(
-        lambda: MixZoneDetector(zone_config).find_crossings(crossing)
+    timings["stream_mixzones"]["batch_wall_s"] = min(
+        bench_timer(lambda: MixZoneDetector(zone_config).find_crossings(crossing))[1]
     )
 
     rows = [

@@ -56,6 +56,36 @@ if os.environ.get("REPRO_BENCH_BACKEND") or os.environ.get("REPRO_BENCH_CACHE"):
 
 
 # ---------------------------------------------------------------------------
+# Min-of-k timing
+# ---------------------------------------------------------------------------
+
+
+def best_of(fn, repeats: int = 3):
+    """Run ``fn`` ``repeats`` times; ``(last result, per-repeat wall seconds)``.
+
+    Benches record the full sample list as ``wall_s_samples`` next to
+    ``wall_s = min(samples)``: the minimum is the least-noisy location
+    estimate on a shared runner (``compare_artifacts.py`` compares it when
+    samples are present), and the spread lets a reader of the artifact judge
+    how noisy the run was.  Callers whose workload memoizes across calls
+    (e.g. a caching engine) must pass ``repeats=1`` — a warm repeat would
+    measure the cache, not the work.
+    """
+    result, samples = None, []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return result, samples
+
+
+@pytest.fixture(scope="session")
+def bench_timer():
+    """:func:`best_of` as a fixture (benches must not import conftest)."""
+    return best_of
+
+
+# ---------------------------------------------------------------------------
 # Machine-speed calibration
 # ---------------------------------------------------------------------------
 

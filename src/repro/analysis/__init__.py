@@ -7,7 +7,7 @@ versioned cell-cache keys, vectorized attacks pinned to scalar
 whole-program pass over the repository's parsed ASTs, so a violation is a
 lint error at review time instead of a silent drift discovered in production.
 
-Five project-specific rule families run over a shared
+Nine project-specific rule families run over a shared
 :class:`~repro.analysis.index.ModuleIndex`:
 
 * **R1 determinism** — no unseeded RNG or wall-clock reads in
@@ -30,12 +30,33 @@ Five project-specific rule families run over a shared
 * **R5 spawn-safety** — no module-level mutable state or closures captured
   into scheduler-backend payloads that would not survive a fresh-interpreter
   spawn.
+* **R6 streaming incrementality** — streaming ``update()`` paths must stay
+  O(window), never rescanning unbounded history state.
+* **R7 seed flow** — the interprocedural extension of R1: every RNG draw
+  *reachable* (over the project :mod:`~repro.analysis.callgraph`) from a
+  cell-computation root — registered factories, ``_evaluate_group``, worker
+  entry points — must use the threaded spec seed, whatever module it lives
+  in.
+* **R8 shared-array mutation** — arrays born from ``columnar()`` /
+  ``WorldStore`` memmap views must not flow (per the forward taint engine
+  in :mod:`~repro.analysis.dataflow`) into in-place mutation — ``sort()``,
+  ``+=``, slice assignment, ``out=`` — without an explicit ``.copy()``.
+* **R9 handle lifecycle** — sqlite connections, sockets, file handles and
+  ``WorldStoreWriter``s must be closed/finalized on all paths (``with`` or
+  a ``finally:``), with escape analysis for ownership transfer; findings on
+  worker-reachable paths carry the call chain.
 
-Run it as a CLI (non-zero exit on findings)::
+Run it as a CLI (non-zero exit on non-baselined findings)::
 
     python -m repro.analysis src tests benchmarks
     python -m repro.analysis --format json src
+    python -m repro.analysis --format sarif --output reprolint.sarif src
     python -m repro.analysis --list-rules
+
+A committed ``tools/reprolint-baseline.json`` (shrink-only, like the mypy
+ratchet; see :mod:`~repro.analysis.baseline`) is picked up automatically:
+only findings outside it fail the run, and ``--update-baseline`` refuses
+to grow it.
 
 Waive a single finding inline with a comment on the offending line (or on
 the ``def`` line of its enclosing function)::

@@ -1,0 +1,108 @@
+"""The shrink-only findings baseline (reprolint's ratchet).
+
+Mirrors ``tools/mypy_ratchet.py``: a committed JSON file pins the accepted
+findings; the CLI exits nonzero only on findings *not* in the baseline, and
+``--update-baseline`` refuses to grow the file.  Entries are keyed by
+``(rule, path, message)`` with a count — line numbers drift with every
+edit, message+path is stable — so two identical findings in one file need
+a baseline count of two, and fixing one of them lets the ratchet shrink.
+
+The intended steady state is an **empty** baseline: new rules land with
+their real findings fixed, and the file exists so that a future rule (or a
+stricter classifier) can land with its legacy findings pinned and burned
+down over time instead of blocking on a flag day.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
+]
+
+#: Committed next to the mypy baseline; picked up automatically when present.
+DEFAULT_BASELINE_PATH = os.path.join("tools", "reprolint-baseline.json")
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.rule, finding.path.replace(os.sep, "/"), finding.message)
+
+
+def load_baseline(path: str) -> Dict[Key, int]:
+    """The baseline counts; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    counts: Dict[Key, int] = {}
+    for row in payload.get("findings", []):
+        key = (row["rule"], row["path"], row["message"])
+        counts[key] = counts.get(key, 0) + int(row.get("count", 1))
+    return counts
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Dict[Key, int]
+) -> Tuple[List[Finding], List[Finding], int]:
+    """Split findings into (new, baselined) and count fixed baseline slots.
+
+    Per key, the first ``baseline[key]`` findings are baselined and any
+    excess is new; baseline slots with fewer live findings than their count
+    contribute to ``fixed`` — the shrink the ratchet wants recorded.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    fixed = sum(count for count in remaining.values() if count > 0)
+    return new, baselined, fixed
+
+
+def write_baseline(path: str, findings: Sequence[Finding], force: bool = False) -> int:
+    """Pin the given findings; refuses to grow an existing baseline.
+
+    Returns the number of entries written.  Growth (more total findings
+    than currently pinned) raises unless ``force`` — fix the new findings
+    instead of baselining them.
+    """
+    counts = Counter(_key(f) for f in findings)
+    if os.path.exists(path) and not force:
+        existing = load_baseline(path)
+        if sum(counts.values()) > sum(existing.values()):
+            raise ValueError(
+                f"refusing to grow the baseline ({sum(existing.values())} -> "
+                f"{sum(counts.values())} findings); fix the new findings or "
+                "waive them with a justified '# repro: allow=' comment"
+            )
+    rows = [
+        {"rule": rule, "path": p, "message": message, "count": count}
+        for (rule, p, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": rows}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return len(rows)

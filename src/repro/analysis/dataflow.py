@@ -1,0 +1,374 @@
+"""Forward taint dataflow with bounded-depth call summaries.
+
+A :class:`TaintPolicy` names the three ingredients of a dataflow rule:
+
+* **sources** — calls (``dataset.columnar()``, ``np.memmap(...)``) or
+  attribute loads (``.lats``) that produce a tainted value;
+* **sanitizers** — calls that launder taint (``arr.copy()``, ``np.array``);
+* **sinks** — places a tainted value must not reach: augmented assignment,
+  slice/subscript stores, in-place mutator methods (``sort``), ``out=``
+  keywords, and chain sinks like ``np.copyto(dst, ...)``.
+
+The :class:`TaintEngine` interprets one function at a time, flow-forward
+and path-insensitive (branches accumulate, reassignment kills).  Calls into
+*resolved* project functions transfer through a :class:`CallSummary`
+computed on demand: does parameter *i* reach a sink, does the return value
+carry taint from parameter *i*, is the return value itself a source?
+Summaries are memoized per function; recursion is cut by an in-progress
+guard and a bounded call depth, so cyclic call graphs terminate with the
+empty (under-approximate) summary — a linter must converge, not iterate
+to fixpoint.
+
+Two polarities share the interpreter: *finding* runs leave parameters
+untainted (the caller who passes a tainted argument gets the finding, at
+the call site), *summary* runs taint each parameter with its index.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .astutil import dotted_chain, import_aliases
+from .callgraph import CallGraph, FunctionInfo
+from .index import ParsedModule
+
+__all__ = ["TaintPolicy", "TaintEngine", "TaintSink", "CallSummary"]
+
+#: A taint origin: ("source", description, line) or ("param", index).
+Origin = Tuple
+
+
+@dataclass(frozen=True)
+class TaintPolicy:
+    """Sources, sanitizers, and sinks for one dataflow rule."""
+
+    #: (alias-resolved dotted chain | None, call) -> origin description | None
+    source_call: Callable[[Optional[List[str]], ast.Call], Optional[str]]
+    #: attribute names whose *load* is a source (e.g. columnar field names)
+    source_attrs: FrozenSet[str] = frozenset()
+    #: method names that return a laundered value (``x.copy()``)
+    sanitizer_methods: FrozenSet[str] = frozenset({"copy"})
+    #: alias-resolved chains that launder their argument (``np.array``)
+    sanitizer_chains: FrozenSet[Tuple[str, ...]] = frozenset()
+    #: method names that mutate their receiver in place (``x.sort()``)
+    mutator_methods: FrozenSet[str] = frozenset()
+    #: keyword arguments that write into their value (``out=``)
+    out_keywords: FrozenSet[str] = frozenset({"out"})
+    #: alias-resolved chains whose positional arg N is written (``np.copyto``)
+    sink_chains: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    #: attribute loads on a tainted value stay tainted (``traces.lats``)
+    taint_attributes: bool = True
+
+
+@dataclass(frozen=True)
+class CallSummary:
+    """What a callee does with taint, as seen from a call site."""
+
+    sink_params: Dict[int, str] = field(default_factory=dict)  #: index -> sink
+    returns_params: FrozenSet[int] = frozenset()
+    returns_source: Optional[str] = None  #: origin description, when born tainted
+
+
+_EMPTY_SUMMARY = CallSummary()
+
+_OP_SYMBOLS = {
+    "Add": "+", "Sub": "-", "Mult": "*", "Div": "/", "FloorDiv": "//",
+    "Mod": "%", "Pow": "**", "LShift": "<<", "RShift": ">>",
+    "BitOr": "|", "BitAnd": "&", "BitXor": "^", "MatMult": "@",
+}
+
+
+@dataclass(frozen=True)
+class TaintSink:
+    """A tainted value reaching a sink inside one function."""
+
+    line: int
+    scope_line: int
+    sink: str  #: what the mutation was
+    origin: str  #: where the taint came from
+
+
+class TaintEngine:
+    """Interprets functions under a policy, memoizing call summaries."""
+
+    def __init__(self, graph: CallGraph, policy: TaintPolicy, max_depth: int = 6) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.max_depth = max_depth
+        self._summaries: Dict[str, CallSummary] = {}
+        self._in_progress: set = set()
+        self._alias_cache: Dict[str, Dict[str, str]] = {}
+
+    # -- public entry points --------------------------------------------------------
+
+    def findings_for(self, info: FunctionInfo) -> List[TaintSink]:
+        """Sinks reached by locally-born taint (parameters stay clean)."""
+        run = _Interp(self, info, param_taint=False)
+        run.exec_block(getattr(info.node, "body", []))
+        return run.sinks
+
+    def summary_for(self, key: str, depth: Optional[int] = None) -> CallSummary:
+        """The callee-side taint summary, bounded and cycle-safe."""
+        if key in self._summaries:
+            return self._summaries[key]
+        depth = self.max_depth if depth is None else depth
+        if depth <= 0 or key in self._in_progress:
+            return _EMPTY_SUMMARY
+        info = self.graph.functions.get(key)
+        if info is None or info.is_class:
+            return _EMPTY_SUMMARY
+        self._in_progress.add(key)
+        try:
+            run = _Interp(self, info, param_taint=True, depth=depth)
+            run.exec_block(getattr(info.node, "body", []))
+            summary = CallSummary(
+                sink_params={
+                    origin[1]: sink.sink
+                    for sink, origin in run.param_sinks
+                },
+                returns_params=frozenset(
+                    o[1] for o in run.return_origins if o[0] == "param"
+                ),
+                returns_source=next(
+                    (o[1] for o in run.return_origins if o[0] == "source"), None
+                ),
+            )
+        finally:
+            self._in_progress.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def aliases_for(self, module: ParsedModule) -> Dict[str, str]:
+        cached = self._alias_cache.get(module.logical)
+        if cached is None:
+            cached = import_aliases(module.tree)
+            self._alias_cache[module.logical] = cached
+        return cached
+
+
+class _Interp:
+    """One flow-forward pass over a function body."""
+
+    def __init__(
+        self, engine: TaintEngine, info: FunctionInfo, param_taint: bool, depth: Optional[int] = None
+    ) -> None:
+        self.engine = engine
+        self.policy = engine.policy
+        self.info = info
+        self.depth = engine.max_depth if depth is None else depth
+        self.aliases = engine.aliases_for(info.module)
+        self.env: Dict[str, Origin] = {}
+        self.sinks: List[TaintSink] = []
+        self.param_sinks: List[Tuple[TaintSink, Origin]] = []
+        self.return_origins: List[Origin] = []
+        if param_taint:
+            args = getattr(info.node, "args", None)
+            if args is not None:
+                names = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+                offset = 1 if names and names[0] in ("self", "cls") else 0
+                for i, name in enumerate(names[offset:]):
+                    self.env[name] = ("param", i)
+
+    # -- statements -----------------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            origin = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, origin, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.bind(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value_origin = self.eval(stmt.value)
+            target_origin = self.eval(stmt.target)
+            if target_origin is not None:
+                op = _OP_SYMBOLS.get(type(stmt.op).__name__, type(stmt.op).__name__)
+                self.report(stmt, f"augmented assignment ({op}=)", target_origin)
+            elif isinstance(stmt.target, ast.Name) and value_origin is not None:
+                # ``x += tainted``: x now aliases nothing shared (fresh object
+                # for arrays would be false — but += on untainted lhs keeps
+                # the lhs, so propagate conservatively).
+                self.env[stmt.target.id] = value_origin
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            origin = self.eval(stmt.iter)
+            self.bind(stmt.target, origin, stmt.iter)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                origin = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, origin, item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                origin = self.eval(stmt.value)
+                if origin is not None:
+                    self.return_origins.append(origin)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested defs are separate graph concerns, not this flow
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def bind(self, target: ast.expr, origin: Optional[Origin], value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if origin is None:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = origin
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elems = value.elts if isinstance(value, (ast.Tuple, ast.List)) else None
+            for i, sub in enumerate(target.elts):
+                sub_origin = origin
+                if elems is not None and i < len(elems):
+                    sub_origin = self.eval(elems[i])
+                self.bind(sub, sub_origin, value)
+        elif isinstance(target, ast.Subscript):
+            base_origin = self.eval(target.value)
+            if base_origin is not None:
+                self.report(target, "subscript/slice assignment", base_origin)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and origin is not None:
+                self.env[f"{target.value.id}.{target.attr}"] = origin
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, origin, value)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr]) -> Optional[Origin]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                composite = self.env.get(f"{node.value.id}.{node.attr}")
+                if composite is not None:
+                    return composite
+            base = self.eval(node.value)
+            if node.attr in self.policy.source_attrs:
+                return ("source", f"shared array attribute '.{node.attr}'", node.lineno)
+            if base is not None and self.policy.taint_attributes:
+                return base
+            return None
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)  # a view of tainted is tainted
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            origins = [self.eval(e) for e in node.elts]
+            return next((o for o in origins if o is not None), None)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) or self.eval(node.orelse)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            origin = self.eval(node.value)
+            self.bind(node.target, origin, node.value)
+            return origin
+        if isinstance(node, ast.BoolOp):
+            origins = [self.eval(v) for v in node.values]
+            return next((o for o in origins if o is not None), None)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            # Arithmetic allocates a fresh array: the result is not a view.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return None
+
+    def eval_call(self, call: ast.Call) -> Optional[Origin]:
+        arg_origins = [self.eval(arg) for arg in call.args]
+        kw_origins = {kw.arg: self.eval(kw.value) for kw in call.keywords}
+        chain = dotted_chain(call.func, self.aliases)
+
+        source = self.policy.source_call(chain, call)
+        if source is not None:
+            return ("source", source, call.lineno)
+
+        if chain and tuple(chain) in self.policy.sanitizer_chains:
+            return None
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in self.policy.sanitizer_methods:
+                return None
+            receiver = self.eval(call.func.value)
+            if receiver is not None and call.func.attr in self.policy.mutator_methods:
+                self.report(call, f".{call.func.attr}()", receiver)
+
+        for kw in call.keywords:
+            if kw.arg in self.policy.out_keywords and kw_origins.get(kw.arg) is not None:
+                self.report(call, f"{kw.arg}= argument", kw_origins[kw.arg])
+        if chain and tuple(chain) in self.policy.sink_chains:
+            index = self.policy.sink_chains[tuple(chain)]
+            if index < len(arg_origins) and arg_origins[index] is not None:
+                self.report(call, f"{'.'.join(chain)}()", arg_origins[index])
+
+        callee = self.engine.graph.call_target(call)
+        if callee is not None:
+            summary = self.engine.summary_for(callee, self.depth - 1)
+            callee_name = self.engine.graph.functions[callee].qualname
+            for i, origin in enumerate(arg_origins):
+                if origin is not None and i in summary.sink_params:
+                    self.report(
+                        call,
+                        f"call to {callee_name}() (which applies "
+                        f"{summary.sink_params[i]} to its parameter)",
+                        origin,
+                    )
+            if summary.returns_source is not None:
+                return ("source", summary.returns_source, call.lineno)
+            for i, origin in enumerate(arg_origins):
+                if origin is not None and i in summary.returns_params:
+                    return origin
+        # Unresolved calls return clean values: under-approximate on purpose.
+        return None
+
+    # -- reporting ------------------------------------------------------------------
+
+    def report(self, node: ast.AST, sink: str, origin: Origin) -> None:
+        scope_line = getattr(self.info.node, "lineno", 1)
+        described = (
+            f"parameter {origin[1]}" if origin[0] == "param" else f"{origin[1]} (line {origin[2]})"
+        )
+        record = TaintSink(
+            line=getattr(node, "lineno", scope_line),
+            scope_line=scope_line,
+            sink=sink,
+            origin=described,
+        )
+        if origin[0] == "param":
+            self.param_sinks.append((record, origin))
+        else:
+            self.sinks.append(record)

@@ -8,7 +8,10 @@ from .base import Rule
 from .cache_key import CacheKeyDriftRule
 from .columnar import ColumnarDisciplineRule
 from .determinism import DeterminismRule
+from .handle_lifecycle import HandleLifecycleRule
 from .registry_integrity import RegistryIntegrityRule
+from .seed_flow import SeedFlowRule
+from .shared_arrays import SharedArrayRule
 from .spawn_safety import SpawnSafetyRule
 from .streaming import StreamingIncrementalityRule
 
@@ -22,6 +25,9 @@ ALL_RULES: List[Rule] = [
     RegistryIntegrityRule(),
     SpawnSafetyRule(),
     StreamingIncrementalityRule(),
+    SeedFlowRule(),
+    SharedArrayRule(),
+    HandleLifecycleRule(),
 ]
 
 

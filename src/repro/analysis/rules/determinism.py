@@ -27,9 +27,12 @@ from ..findings import Finding
 from ..index import ModuleIndex
 from .base import Rule
 
-__all__ = ["DeterminismRule"]
+__all__ = ["DeterminismRule", "classify_entropy_call", "CELL_COMPUTATION_TARGETS"]
 
-#: Modules whose code computes (or schedules/caches) engine cells.
+#: Modules whose code computes (or schedules/caches) engine cells.  R1 scans
+#: these module-locally; R7 (seed-flow) extends the same classifier to every
+#: function *reachable* from a cell-computation root, whatever module it
+#: lives in, and therefore skips these paths to avoid double reporting.
 _TARGETS = (
     "repro/attacks/",
     "repro/baselines/",
@@ -43,6 +46,9 @@ _TARGETS = (
     "repro/experiments/cache.py",
     "repro/experiments/worker.py",
 )
+
+#: Public alias for the interprocedural seed-flow rule (R7).
+CELL_COMPUTATION_TARGETS = _TARGETS
 
 #: numpy.random attributes that draw from (or reseed) the global legacy RNG.
 _NUMPY_GLOBAL_DRAWS = {
@@ -80,7 +86,7 @@ class DeterminismRule(Rule):
                 chain = dotted_chain(node.func, aliases)
                 if not chain:
                     continue
-                problem = self._classify(chain, node)
+                problem = classify_entropy_call(chain, node)
                 if problem:
                     yield Finding(
                         rule=self.id,
@@ -95,30 +101,35 @@ class DeterminismRule(Rule):
                         scope_line=enclosing_def_line(stack),
                     )
 
-    @staticmethod
-    def _classify(chain, call: ast.Call) -> str:
-        dotted = ".".join(chain)
-        has_args = bool(call.args or call.keywords)
-        if len(chain) >= 2 and chain[0] == "numpy" and chain[1] == "random":
-            tail = chain[-1]
-            if tail in _NUMPY_GLOBAL_DRAWS and len(chain) == 3:
-                return f"{dotted}() draws from the global numpy RNG"
-            if tail == "RandomState":
-                return "np.random.RandomState is legacy; use np.random.default_rng(seed)"
-            if tail == "default_rng" and not has_args:
-                return "np.random.default_rng() without a seed is entropy-seeded"
-            return ""
-        if chain[0] == "random" and len(chain) == 2 and "numpy" not in dotted:
-            tail = chain[1]
-            if tail == "SystemRandom":
-                return "random.SystemRandom draws OS entropy (never reproducible)"
-            if tail == "Random":
-                return "" if has_args else "random.Random() without a seed is entropy-seeded"
-            if tail[:1].islower():
-                return f"stdlib random.{tail}() uses the ambient global RNG"
-            return ""
-        if tuple(chain) in _WALL_CLOCKS or (
-            len(chain) == 2 and tuple(chain) in {t[-2:] for t in _WALL_CLOCKS if len(t) == 3}
-        ):
-            return f"{dotted}() reads the wall clock"
+
+def classify_entropy_call(chain, call: ast.Call) -> str:
+    """Describe why a call draws ambient entropy/time, or "" when it is fine.
+
+    Shared by R1 (module-local, over ``CELL_COMPUTATION_TARGETS``) and R7
+    (interprocedural, over everything reachable from cell roots).
+    """
+    dotted = ".".join(chain)
+    has_args = bool(call.args or call.keywords)
+    if len(chain) >= 2 and chain[0] == "numpy" and chain[1] == "random":
+        tail = chain[-1]
+        if tail in _NUMPY_GLOBAL_DRAWS and len(chain) == 3:
+            return f"{dotted}() draws from the global numpy RNG"
+        if tail == "RandomState":
+            return "np.random.RandomState is legacy; use np.random.default_rng(seed)"
+        if tail == "default_rng" and not has_args:
+            return "np.random.default_rng() without a seed is entropy-seeded"
         return ""
+    if chain[0] == "random" and len(chain) == 2 and "numpy" not in dotted:
+        tail = chain[1]
+        if tail == "SystemRandom":
+            return "random.SystemRandom draws OS entropy (never reproducible)"
+        if tail == "Random":
+            return "" if has_args else "random.Random() without a seed is entropy-seeded"
+        if tail[:1].islower():
+            return f"stdlib random.{tail}() uses the ambient global RNG"
+        return ""
+    if tuple(chain) in _WALL_CLOCKS or (
+        len(chain) == 2 and tuple(chain) in {t[-2:] for t in _WALL_CLOCKS if len(t) == 3}
+    ):
+        return f"{dotted}() reads the wall clock"
+    return ""

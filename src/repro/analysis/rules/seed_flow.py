@@ -1,0 +1,101 @@
+"""R7 — seed flow: the spec seed must reach every RNG draw on cell paths.
+
+R1 flags ambient entropy and wall clocks *module-locally*, inside the
+known cell-computation modules.  R7 closes the interprocedural gap: it
+walks the project call graph from every **cell-computation root** —
+registered mechanism/attack/metric/world factories (and the classes they
+construct), the engine's ``_evaluate_group``, and worker entry points —
+and applies the same entropy classifier to every function reachable from
+those roots, *wherever it lives*.  A helper two modules away that calls
+``np.random.default_rng()`` without threading the spec seed breaks
+bitwise row equality across backends just as surely as one inside
+``repro/attacks/``; now both are findings.
+
+Functions inside R1's own target modules are skipped here (R1 already
+reports them); R7's findings carry the root and call chain that make the
+draw a cell-path problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..astutil import dotted_chain, enclosing_def_line, import_aliases, iter_scoped_nodes
+from ..callgraph import CallGraph, get_callgraph
+from ..findings import Finding
+from ..index import ModuleIndex
+from .base import Rule
+from .determinism import CELL_COMPUTATION_TARGETS, classify_entropy_call
+
+__all__ = ["SeedFlowRule"]
+
+
+def cell_roots(graph: CallGraph) -> Dict[str, str]:
+    """Cell-computation root keys mapped to a human-readable label."""
+    roots: Dict[str, str] = {}
+    for kind, bucket in sorted(graph.registrations.items()):
+        for name, keys in sorted(bucket.items()):
+            for key in keys:
+                roots.setdefault(key, f"registered {kind} {name!r}")
+    for key in graph.functions_named("_evaluate_group", "engine.py"):
+        roots.setdefault(key, "engine cell evaluation (_evaluate_group)")
+    for key in graph.functions_named("main", "worker.py"):
+        roots.setdefault(key, "worker entry point (worker.main)")
+    return roots
+
+
+class SeedFlowRule(Rule):
+    id = "R7"
+    name = "seed-flow"
+    description = (
+        "every RNG draw reachable from a cell-computation root (registered "
+        "factories, _evaluate_group, worker entry points) must use the "
+        "threaded spec seed; interprocedural extension of R1"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        graph = get_callgraph(index)
+        roots = cell_roots(graph)
+        parents = graph.reachable(roots, expand_instances=True)
+        for key in sorted(parents):
+            info = graph.functions.get(key)
+            if info is None or info.is_class:
+                continue
+            if info.module.matches(*CELL_COMPUTATION_TARGETS):
+                continue  # R1's beat: module-local findings already reported
+            yield from self._check_function(graph, roots, parents, info)
+
+    def _check_function(self, graph, roots, parents, info) -> Iterator[Finding]:
+        aliases = import_aliases(info.module.tree)
+        chain_label = self._chain_label(graph, roots, parents, info.key)
+        for node, stack in iter_scoped_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func, aliases)
+            if not chain:
+                continue
+            problem = classify_entropy_call(chain, node)
+            if not problem:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=info.module.path,
+                line=node.lineno,
+                message=f"{problem} on a cell-computation path ({chain_label})",
+                hint=(
+                    "thread the spec seed (or a Generator seeded from it) "
+                    "through this call chain; cells must be pure functions "
+                    "of their spec strings and seed"
+                ),
+                scope_line=enclosing_def_line(stack) or getattr(info.node, "lineno", None),
+            )
+
+    @staticmethod
+    def _chain_label(
+        graph: CallGraph, roots: Dict[str, str], parents: Dict[str, Optional[str]], key: str
+    ) -> str:
+        chain: List[str] = graph.path_to(parents, key)
+        root_label = roots.get(chain[0], graph.functions[chain[0]].qualname)
+        hops = " -> ".join(graph.functions[k].qualname for k in chain)
+        return f"reachable from {root_label} via {hops}"

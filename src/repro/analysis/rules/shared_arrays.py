@@ -1,0 +1,94 @@
+"""R8 — shared-array mutation: columnar/memmap views are read-only.
+
+``MobilityDataset.columnar()`` and ``WorldStore`` hand out *shared* array
+views — the same pages every worker on the host maps, the buffers the
+engine explicitly never copies.  Mutating one in place (``sort()``,
+``+=``, slice assignment, ``out=``) corrupts every other reader and, for
+memmapped stores, the on-disk artifact itself.  The runtime guards the
+columnar views with ``writeable = False``, but memmap columns and code
+paths that slice before mutating escape that net — and the crash arrives
+far from the bug.
+
+R8 runs the forward taint engine over every scanned function:
+
+* **sources** — ``.columnar()`` calls, ``np.memmap(...)``, and loads of
+  the canonical shared column attributes (``.lats``, ``.lons``,
+  ``.timestamps``, ``.user_index``, ``.offsets``);
+* **sanitizers** — ``.copy()`` / ``.astype()`` / ``np.array`` /
+  ``np.copy`` (``np.asarray`` is *not* one: it aliases);
+* **sinks** — augmented assignment, subscript/slice stores, in-place
+  mutator methods, ``out=`` keywords, and ``np.copyto``-style writers —
+  including interprocedurally, when a tainted array is passed to a
+  project function whose parameter reaches such a sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..callgraph import get_callgraph
+from ..dataflow import TaintEngine, TaintPolicy
+from ..findings import Finding
+from ..index import ModuleIndex
+from .base import Rule
+
+__all__ = ["SharedArrayRule"]
+
+#: The canonical shared column attributes of ColumnarTraces / WorldStore.
+_SHARED_ATTRS = frozenset({"lats", "lons", "timestamps", "user_index", "offsets"})
+
+#: ndarray methods that mutate their receiver in place.
+_MUTATORS = frozenset({"sort", "partition", "fill", "resize", "put", "itemset", "byteswap"})
+
+
+def _source_call(chain: Optional[List[str]], call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "columnar":
+        return "a columnar() view"
+    if chain and tuple(chain) == ("numpy", "memmap"):
+        return "a numpy memmap"
+    return None
+
+
+_POLICY = TaintPolicy(
+    source_call=_source_call,
+    source_attrs=_SHARED_ATTRS,
+    sanitizer_methods=frozenset({"copy", "astype", "tolist"}),
+    sanitizer_chains=frozenset({("numpy", "array"), ("numpy", "copy")}),
+    mutator_methods=_MUTATORS,
+    out_keywords=frozenset({"out"}),
+    sink_chains={
+        ("numpy", "copyto"): 0,
+        ("numpy", "put"): 0,
+        ("numpy", "place"): 0,
+        ("numpy", "putmask"): 0,
+    },
+)
+
+
+class SharedArrayRule(Rule):
+    id = "R8"
+    name = "shared-array-mutation"
+    description = (
+        "arrays born from columnar()/WorldStore memmap views must not flow "
+        "into in-place mutation (sort, +=, slice-assign, out=) without an "
+        "explicit .copy(); tracked through project calls"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterator[Finding]:
+        graph = get_callgraph(index)
+        engine = TaintEngine(graph, _POLICY)
+        for info in graph.iter_functions():
+            for sink in engine.findings_for(info):
+                yield Finding(
+                    rule=self.id,
+                    path=info.module.path,
+                    line=sink.line,
+                    message=f"{sink.origin} flows into in-place mutation via {sink.sink}",
+                    hint=(
+                        "mutate an explicit copy (.copy() or np.array(x)) — "
+                        "columnar()/WorldStore views are shared across workers "
+                        "and, for memmaps, backed by the on-disk artifact"
+                    ),
+                    scope_line=sink.scope_line,
+                )

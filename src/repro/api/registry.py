@@ -219,6 +219,16 @@ class Registry:
             if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
         )
 
+    def declares(self, name: str, param: str) -> bool:
+        """Whether the factory registered under ``name`` declares ``param``.
+
+        This is how callers can tell ahead of construction whether an
+        injected default would take effect — e.g. the engine detecting that
+        a ``mode="stream"`` spec will silently fall back to batch for an
+        evaluator without an ``execution`` parameter.
+        """
+        return param in self._declared_params(self._resolve(name))
+
     def create(
         self, spec: str, *, defaults: Optional[Mapping[str, Any]] = None
     ) -> Any:

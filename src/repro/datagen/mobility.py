@@ -448,15 +448,18 @@ def generate_world_store(
     from ..io.world_store import WorldStoreWriter
 
     writer = WorldStoreWriter(path, overwrite=overwrite)
-    for trajectory in iter_world_trajectories(
-        n_users=n_users,
-        n_days=n_days,
-        seed=seed,
-        city_config=city_config,
-        schedule_config=schedule_config,
-        simulation_config=simulation_config,
-        noise_config=noise_config,
-        epoch=epoch,
-    ):
-        writer.append(trajectory)
-    return writer.finalize()
+    try:
+        for trajectory in iter_world_trajectories(
+            n_users=n_users,
+            n_days=n_days,
+            seed=seed,
+            city_config=city_config,
+            schedule_config=schedule_config,
+            simulation_config=simulation_config,
+            noise_config=noise_config,
+            epoch=epoch,
+        ):
+            writer.append(trajectory)
+        return writer.finalize()
+    finally:
+        writer.close()

@@ -35,9 +35,10 @@ is how one row can merge several components that would otherwise collide.
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..api.adapters import publish_result
 from ..api.registry import (
@@ -229,6 +230,25 @@ def _publish_for_group(
     return publish_result(mech_item, input_dataset, label=mech_label)
 
 
+#: Attack names already warned about falling back from stream to batch mode
+#: (per process: worker fan-out re-warns at most once per worker).
+_STREAM_FALLBACK_WARNED: Set[str] = set()
+
+
+def _note_stream_fallback(name: str) -> None:
+    """Warn (once per attack name) that a stream-mode cell runs batch."""
+    if name in _STREAM_FALLBACK_WARNED:
+        return
+    _STREAM_FALLBACK_WARNED.add(name)
+    warnings.warn(
+        f"attack {name!r} does not declare an 'execution' parameter, so "
+        "ExperimentSpec(mode='stream') runs it in batch mode; its rows "
+        "carry stream_fallback=True",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
     """Evaluate every cell sharing one (world, seed, mechanism) publication.
 
@@ -248,9 +268,17 @@ def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
     out: List[Tuple[int, Dict[str, Any]]] = []
     for index, attack_label, attack_item, metric_group in cell_args:
         columns: Dict[str, Any] = {}
+        stream_fallback = False
         if attack_item is not None:
             if isinstance(attack_item, str):
                 name, params, prefix = _pop_prefix(attack_item)
+                if (
+                    attack_defaults is not None
+                    and "execution" not in params
+                    and not ATTACKS.declares(name, "execution")
+                ):
+                    stream_fallback = True
+                    _note_stream_fallback(name)
                 attack = ATTACKS.create_parsed(name, params, defaults=attack_defaults)
             else:
                 attack, prefix = attack_item, ""
@@ -272,6 +300,10 @@ def _evaluate_group(payload: Tuple) -> List[Tuple[int, Dict[str, Any]]]:
             "mechanism": mech_label,
             "attack": attack_label or None,
         }
+        if stream_fallback:
+            # Row provenance: this cell was requested in stream mode but the
+            # evaluator is not streaming-capable, so batch numbers follow.
+            row["stream_fallback"] = True
         row.update(columns)
         out.append((index, row))
     return out

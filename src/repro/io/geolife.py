@@ -182,9 +182,12 @@ def ingest_geolife_store(
     from .world_store import WorldStoreWriter
 
     writer = WorldStoreWriter(store_path, overwrite=overwrite)
-    for trajectory in iter_geolife_users(root, max_users=max_users):
-        writer.append(trajectory)
-    return writer.finalize()
+    try:
+        for trajectory in iter_geolife_users(root, max_users=max_users):
+            writer.append(trajectory)
+        return writer.finalize()
+    finally:
+        writer.close()
 
 
 def write_geolife_directory(root: str | Path, dataset: MobilityDataset) -> None:

@@ -193,6 +193,25 @@ class WorldStoreWriter:
         )
         return WorldStore.open(self.path)
 
+    def close(self) -> None:
+        """Release the column handles without sealing the store.
+
+        Idempotent, and a no-op after :meth:`finalize` (which already closed
+        the handles).  Abandoning an unfinalized writer leaves no valid
+        store behind — the header is only ever written by ``finalize`` — but
+        the open column handles must still be released on failure paths.
+        """
+        if self._finalized:
+            return
+        for handle in self._handles.values():
+            handle.close()
+
+    def __enter__(self) -> "WorldStoreWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 class WorldStore:
     """An opened world artifact: memmapped columns plus header metadata.
@@ -276,9 +295,12 @@ class WorldStore:
     ) -> "WorldStore":
         """Stream an iterable of trajectories (e.g. a dataset) into a store."""
         writer = WorldStoreWriter(path, overwrite=overwrite)
-        for trajectory in trajectories:
-            writer.append(trajectory)
-        return writer.finalize()
+        try:
+            for trajectory in trajectories:
+                writer.append(trajectory)
+            return writer.finalize()
+        finally:
+            writer.close()
 
     # -- shape / metadata -----------------------------------------------------
 

@@ -1,0 +1,17 @@
+"""Callgraph fixture: import aliasing in all three spellings."""
+
+import pkg.util as pu
+from pkg import util
+from pkg.util import helper as h
+
+
+def go():
+    return h()
+
+
+def go2():
+    return pu.helper()
+
+
+def go3():
+    return util.helper()

@@ -1,0 +1,9 @@
+"""Callgraph fixture: the imported helper."""
+
+
+def helper():
+    return 1
+
+
+def unused():
+    return 2

@@ -1,0 +1,23 @@
+"""Callgraph fixture: call cycles — reachability and summaries terminate."""
+
+
+def alpha(x):
+    return beta(x)
+
+
+def beta(x):
+    return alpha(x - 1)
+
+
+def gamma(arr):
+    delta(arr)
+
+
+def delta(arr):
+    gamma(arr)
+    arr += 1
+
+
+def entry(dataset):
+    values = dataset.columnar().lats
+    gamma(values)

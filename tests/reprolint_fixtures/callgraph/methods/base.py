@@ -1,0 +1,9 @@
+"""Callgraph fixture: the base class resolved across modules."""
+
+
+class Base:
+    def step(self):
+        return 0
+
+    def twice(self):
+        return self.step() + self.step()

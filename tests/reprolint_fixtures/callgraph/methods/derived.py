@@ -1,0 +1,17 @@
+"""Callgraph fixture: method resolution through self, bases, and locals."""
+
+from base import Base
+
+
+class Derived(Base):
+    def run(self):
+        return self.step() + self.twice()
+
+
+def drive():
+    d = Derived()
+    return d.run()
+
+
+def drive_annotated(worker: Derived):
+    return worker.run()

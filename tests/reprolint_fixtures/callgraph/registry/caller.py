@@ -1,0 +1,15 @@
+"""Callgraph fixture: literal, chained, and dynamic registry indirection."""
+
+from repro.api.registry import ATTACKS, make_attack
+
+
+def build_one():
+    return make_attack("fixture-poi:radius=10")
+
+
+def build_pipeline():
+    return make_attack("fixture-poi|fixture-zone")
+
+
+def build_dynamic(spec):
+    return ATTACKS.create_parsed(spec)

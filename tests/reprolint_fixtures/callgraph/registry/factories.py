@@ -1,0 +1,13 @@
+"""Callgraph fixture: registered factories reached through spec strings."""
+
+from repro.api.registry import register_attack
+
+
+@register_attack("fixture-poi")
+def make_poi():
+    return object()
+
+
+@register_attack("fixture-zone")
+def make_zone():
+    return object()

@@ -1,0 +1,52 @@
+"""Fixture: every handle is with-managed, finally-closed, escaped, or delegated."""
+
+import json
+import sqlite3
+from contextlib import closing
+
+
+def flush_rows(path, rows):
+    with open(path, "w") as fh:
+        json.dump(rows, fh)
+
+
+def count_rows(db_path):
+    with closing(sqlite3.connect(db_path)) as conn:
+        return conn.execute("select count(*) from rows").fetchone()[0]
+
+
+def append_log(path, line):
+    fh = open(path, "a")
+    try:
+        fh.write(line)
+    finally:
+        fh.close()
+
+
+def run_and_close(db_path):
+    conn = sqlite3.connect(db_path)
+    _finish(conn)
+
+
+def _finish(conn):
+    try:
+        conn.commit()
+    finally:
+        conn.close()
+
+
+class ConnectionPool:
+    """Ownership transfer: the pool closes leased connections itself."""
+
+    def __init__(self):
+        self._conns = {}
+
+    def lease(self, db_path):
+        conn = sqlite3.connect(db_path)
+        self._conns[db_path] = conn
+        return conn
+
+    def close(self):
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()

@@ -1,0 +1,19 @@
+"""Fixture: worker-side row spilling with three leaky handle lifecycles."""
+
+import json
+import sqlite3
+
+
+def flush_rows(path, rows):
+    fh = open(path, "w")
+    json.dump(rows, fh)
+    fh.close()
+
+
+def count_rows(db_path):
+    conn = sqlite3.connect(db_path)
+    return conn.execute("select count(*) from rows").fetchone()[0]
+
+
+def peek_header(path):
+    return open(path).read(16)

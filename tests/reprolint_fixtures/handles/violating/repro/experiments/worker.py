@@ -1,0 +1,7 @@
+"""Fixture worker entry point: makes ``spill.flush_rows`` worker-reachable."""
+
+from repro.experiments.spill import flush_rows
+
+
+def main(path, rows):
+    flush_rows(path, rows)

@@ -1,0 +1,15 @@
+"""Fixture: leaky lifecycles, waived with justifications."""
+
+import json
+import sqlite3
+
+
+def flush_rows(path, rows):  # repro: allow=R9 -- fixture: process exit closes it
+    fh = open(path, "w")
+    json.dump(rows, fh)
+    fh.close()
+
+
+def count_rows(db_path):
+    conn = sqlite3.connect(db_path)  # repro: allow=R9 -- fixture: line-level waiver
+    return conn.execute("select count(*) from rows").fetchone()[0]

@@ -1,0 +1,13 @@
+"""Fixture factory: seed threaded through every hop of the cell path."""
+
+from repro.api.registry import register_attack
+from repro.io.sampling import draw_offsets
+
+
+@register_attack("fixture-seedflow")
+class JitterAttack:
+    def run(self, dataset, seed):
+        return self._jitter(seed)
+
+    def _jitter(self, seed):
+        return draw_offsets(3, seed)

@@ -1,0 +1,16 @@
+"""Fixture helper: the spec seed is threaded all the way to the draw."""
+
+import time
+
+import numpy as np
+
+
+def draw_offsets(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def time_block(fn):
+    start = time.perf_counter()  # monotonic duration clock: allowed
+    fn()
+    return time.perf_counter() - start

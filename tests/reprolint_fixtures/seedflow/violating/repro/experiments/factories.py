@@ -1,0 +1,18 @@
+"""Fixture factory: a registered attack whose helpers drop the seed.
+
+The entropy draws live two hops away in ``repro/io/sampling.py`` — the
+registration makes the class a cell-computation root, instance expansion
+reaches ``run``, and the import edge carries the walk across modules.
+"""
+
+from repro.api.registry import register_attack
+from repro.io.sampling import draw_offsets, stamp_rows
+
+
+@register_attack("fixture-seedflow")
+class JitterAttack:
+    def run(self, dataset, seed):
+        return stamp_rows(self._jitter())
+
+    def _jitter(self):
+        return draw_offsets(3)

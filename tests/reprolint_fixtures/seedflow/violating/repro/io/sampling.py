@@ -1,0 +1,18 @@
+"""Fixture helper outside R1's module scope: drops the threaded seed.
+
+``repro/io/`` is not a cell-computation target, so R1 never looks here —
+only the interprocedural R7 walk can tie these draws to a cell path.
+"""
+
+import time
+
+import numpy as np
+
+
+def draw_offsets(n):
+    rng = np.random.default_rng()
+    return rng.normal(size=n)
+
+
+def stamp_rows(rows):
+    return [(time.time(), row) for row in rows]

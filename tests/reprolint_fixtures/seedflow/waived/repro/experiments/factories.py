@@ -1,0 +1,13 @@
+"""Fixture factory: same shape as the violating tree; draws are waived."""
+
+from repro.api.registry import register_attack
+from repro.io.sampling import draw_offsets, shuffle_rows
+
+
+@register_attack("fixture-seedflow")
+class JitterAttack:
+    def run(self, dataset, seed):
+        return shuffle_rows(list(self._jitter()))
+
+    def _jitter(self):
+        return draw_offsets(3)

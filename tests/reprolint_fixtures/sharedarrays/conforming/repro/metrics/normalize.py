@@ -1,0 +1,8 @@
+"""Fixture helper: mutates its parameter in place — callers must copy."""
+
+import numpy as np
+
+
+def center_inplace(values):
+    values -= np.mean(values)
+    return values

@@ -1,0 +1,17 @@
+"""Fixture: every mutation happens on an explicit copy of the shared view."""
+
+import numpy as np
+
+from repro.metrics.normalize import center_inplace
+
+
+def distortion_rows(dataset):
+    traces = dataset.columnar()
+    lats = traces.lats.copy()
+    center_inplace(lats)
+    order = np.sort(traces.lons)
+    head = np.array(traces.timestamps[:10])
+    head[:5] = 0.0
+    scratch = np.empty_like(lats)
+    np.subtract(lats, 1.0, out=scratch)
+    return lats, order, head, scratch

@@ -1,0 +1,8 @@
+"""Fixture helper: mutates its parameter in place (a summary-mode sink)."""
+
+import numpy as np
+
+
+def center_inplace(values):
+    values -= np.mean(values)
+    return values

@@ -1,0 +1,15 @@
+"""Fixture: shared columnar views mutated in place, four different ways."""
+
+import numpy as np
+
+from repro.metrics.normalize import center_inplace
+
+
+def distortion_rows(dataset):
+    traces = dataset.columnar()
+    lats = traces.lats
+    center_inplace(lats)
+    traces.lons.sort()
+    traces.timestamps[:10] = 0.0
+    np.subtract(lats, 1.0, out=lats)
+    return lats

@@ -1,0 +1,16 @@
+"""Fixture: in-place mutation of shared views, waived with a justification."""
+
+import numpy as np
+
+
+def repack_store(dataset):  # repro: allow=R8 -- fixture: single-owner repack before publish
+    traces = dataset.columnar()
+    traces.lons.sort()
+    np.subtract(traces.lats, 1.0, out=traces.lats)
+    return traces
+
+
+def zero_head(dataset):
+    traces = dataset.columnar()
+    traces.timestamps[:10] = 0.0  # repro: allow=R8 -- fixture: line-level waiver
+    return traces

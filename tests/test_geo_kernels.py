@@ -54,7 +54,7 @@ class TestColumnarTraces:
         dataset = small_dataset_trio()
         assert dataset.columnar() is dataset.columnar()
         with pytest.raises(ValueError):
-            dataset.columnar().lats[0] = 1.0
+            dataset.columnar().lats[0] = 1.0  # repro: allow=R8 -- asserts the view rejects writes
 
     def test_empty_dataset(self):
         traces = MobilityDataset().columnar()

@@ -20,6 +20,7 @@ import sys
 import pytest
 
 from repro.analysis import run_analysis
+from repro.analysis.baseline import load_baseline, partition_findings, write_baseline
 from repro.analysis.cli import main as cli_main
 from repro.analysis.findings import Finding, format_findings
 from repro.analysis.index import ModuleIndex
@@ -62,7 +63,8 @@ class TestDeterminismRule:
 
     def test_scope_is_limited_to_cell_computation_modules(self, tmp_path):
         # The same violating source outside a target path yields nothing.
-        src = open(fixture("repro", "attacks", "r1_violating.py")).read()
+        with open(fixture("repro", "attacks", "r1_violating.py")) as fh:
+            src = fh.read()
         other = tmp_path / "repro" / "io" / "loader.py"
         other.parent.mkdir(parents=True)
         other.write_text(src)
@@ -168,7 +170,8 @@ class TestStreamingIncrementalityRule:
 
     def test_scope_is_limited_to_streaming_modules(self, tmp_path):
         # The same violating source outside repro/streaming/ yields nothing.
-        src = open(fixture("repro", "streaming", "r6_violating.py")).read()
+        with open(fixture("repro", "streaming", "r6_violating.py")) as fh:
+            src = fh.read()
         other = tmp_path / "repro" / "attacks" / "scanner.py"
         other.parent.mkdir(parents=True)
         other.write_text(src)
@@ -254,6 +257,211 @@ class TestCacheKeyRule:
         assert r2_findings(cachekey_tree) == []
 
 
+# ------------------------------------------------- R7 seed flow (interprocedural)
+
+
+class TestSeedFlowRule:
+    def test_violating_tree_carries_the_chain_to_a_registered_root(self):
+        found = findings_for(fixture("seedflow", "violating"), "R7")
+        by_line = {f.line: f.message for f in found if f.path.endswith("sampling.py")}
+        assert set(by_line) == {13, 18}, [f.message for f in found]
+        assert "on a cell-computation path" in by_line[13]
+        assert "reachable from registered attack 'fixture-seedflow'" in by_line[13]
+        assert "JitterAttack._jitter -> draw_offsets" in by_line[13]
+        assert "JitterAttack.run -> stamp_rows" in by_line[18]
+
+    def test_conforming_tree_threads_the_seed_and_is_clean(self):
+        assert findings_for(fixture("seedflow", "conforming"), "R7") == []
+
+    def test_waived_tree_is_suppressed(self):
+        assert findings_for(fixture("seedflow", "waived"), "R7") == []
+
+    def test_cell_computation_modules_are_left_to_r1(self):
+        # R1's target modules report module-locally; R7 must not double-report.
+        assert findings_for(fixture("repro", "attacks", "r1_violating.py"), "R7") == []
+
+
+# ------------------------------------------------------ R8 shared-array mutation
+
+
+class TestSharedArrayRule:
+    def test_violating_tree_flags_every_mutation_of_a_shared_view(self):
+        found = findings_for(fixture("sharedarrays", "violating"), "R8")
+        lines = sorted(f.line for f in found if f.path.endswith("pipeline.py"))
+        assert lines == [11, 12, 13, 14], [f.message for f in found]
+        messages = " | ".join(f.message for f in found)
+        assert "flows into in-place mutation" in messages
+        assert "center_inplace" in messages, "interprocedural summary transfer"
+        assert ".sort()" in messages
+        assert "subscript/slice assignment" in messages
+        assert "out= argument" in messages
+
+    def test_conforming_tree_copies_before_mutating_and_is_clean(self):
+        assert findings_for(fixture("sharedarrays", "conforming"), "R8") == []
+
+    def test_waived_tree_is_suppressed(self):
+        assert findings_for(fixture("sharedarrays", "waived"), "R8") == []
+
+
+# ----------------------------------------------------------- R9 handle lifecycle
+
+
+class TestHandleLifecycleRule:
+    def test_violating_tree_reports_each_leak_mode(self):
+        found = findings_for(fixture("handles", "violating"), "R9")
+        by_line = {f.line: f.message for f in found if f.path.endswith("spill.py")}
+        assert set(by_line) == {8, 14, 19}, [f.message for f in found]
+        assert "not closed on exception paths" in by_line[8]
+        assert "worker-reachable path (main -> flush_rows)" in by_line[8]
+        assert "is never closed" in by_line[14]
+        assert "sqlite3 connection" in by_line[14]
+        assert "consumed inline" in by_line[19]
+
+    def test_conforming_tree_is_clean(self):
+        # with-statements, contextlib.closing, finally-closes, delegation to
+        # a closing project helper, and escapes into a pool are all legal.
+        assert findings_for(fixture("handles", "conforming"), "R9") == []
+
+    def test_waived_tree_is_suppressed(self):
+        assert findings_for(fixture("handles", "waived"), "R9") == []
+
+
+# ------------------------------------------------------------ baseline / ratchet
+
+
+class TestBaseline:
+    def _findings(self):
+        found = [
+            f
+            for f in run_analysis([fixture("sharedarrays", "violating")])
+            if f.rule == "R8"
+        ]
+        assert len(found) >= 2
+        return found
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            load_baseline(str(target))
+
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        found = self._findings()
+        write_baseline(str(target), found)
+        new, baselined, fixed = partition_findings(found, load_baseline(str(target)))
+        assert new == []
+        assert len(baselined) == len(found)
+        assert fixed == 0
+
+    def test_fixed_findings_are_counted_for_the_shrink(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        found = self._findings()
+        write_baseline(str(target), found)
+        new, _, fixed = partition_findings(found[1:], load_baseline(str(target)))
+        assert new == [] and fixed == 1
+
+    def test_baseline_is_shrink_only(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        found = self._findings()
+        write_baseline(str(target), found[1:])  # pin all but one
+        with pytest.raises(ValueError):
+            write_baseline(str(target), found)  # growing back is refused
+        assert write_baseline(str(target), found, force=True) > 0
+
+    def test_cli_baseline_flow(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        tree = fixture("sharedarrays", "violating")
+        args = [tree, "--rules", "R8", "--baseline", str(target)]
+        assert cli_main([*args, "--update-baseline"]) == 0
+        assert "pinned" in capsys.readouterr().out
+        # Baselined findings no longer fail the run ...
+        assert cli_main(args) == 0
+        captured = capsys.readouterr()
+        assert "baselined finding(s) suppressed" in captured.err
+        assert "clean" in captured.out
+        # ... but --no-baseline restores the strict view.
+        assert cli_main([tree, "--rules", "R8", "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_cli_no_baseline_conflicts_with_update(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([fixture("repro", "api"), "--no-baseline", "--update-baseline"])
+        assert excinfo.value.code == 2
+
+
+# ------------------------------------------------------------------ SARIF output
+
+
+class TestSarifOutput:
+    def test_cli_emits_a_valid_sarif_run(self, capsys):
+        violating = fixture("repro", "attacks", "r1_violating.py")
+        assert cli_main([violating, "--format", "sarif", "--no-baseline"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"R1", "R7", "R8", "R9"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "R1"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("r1_violating.py")
+        assert location["region"]["startLine"] >= 1
+        assert "suppressions" not in result
+
+    def test_baselined_findings_are_marked_suppressed(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        tree = fixture("handles", "violating")
+        args = [tree, "--rules", "R9", "--baseline", str(target)]
+        assert cli_main([*args, "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert cli_main([*args, "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert results
+        assert all(r["suppressions"] == [{"kind": "external"}] for r in results)
+
+    def test_mypy_ratchet_shares_the_sarif_shape(self):
+        # The ratchet's converter is pure — testable without mypy installed.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "mypy_ratchet", os.path.join(REPO_ROOT, "tools", "mypy_ratchet.py")
+        )
+        ratchet = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(ratchet)
+        doc = json.loads(
+            ratchet.errors_to_sarif(
+                ['src/repro/io/x.py:12: error: Bad thing  [arg-type]'],
+                ['src/repro/io/y.py:3: error: Old thing  [assignment]'],
+            )
+        )
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "mypy"
+        first, second = run["results"]
+        assert first["ruleId"] == "mypy/arg-type"
+        assert first["locations"][0]["physicalLocation"]["region"]["startLine"] == 12
+        assert "suppressions" not in first
+        assert second["ruleId"] == "mypy/assignment"
+        assert second["suppressions"] == [{"kind": "external"}]
+
+    def test_output_file_receives_the_report(self, tmp_path, capsys):
+        out = tmp_path / "reprolint.sarif"
+        violating = fixture("repro", "attacks", "r1_violating.py")
+        code = cli_main(
+            [violating, "--format", "sarif", "--no-baseline", "--output", str(out)]
+        )
+        assert code == 1
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"]
+
+
 # -------------------------------------------------------------------- index / CLI
 
 
@@ -294,13 +502,13 @@ class TestIndexAndCli:
         assert cli_main([violating, "--rules", "R3"]) == 0
         capsys.readouterr()
         with pytest.raises(SystemExit) as excinfo:
-            cli_main([violating, "--rules", "R9"])
+            cli_main([violating, "--rules", "R99"])
         assert excinfo.value.code == 2
 
     def test_cli_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
             assert rule_id in out
 
     def test_module_entry_point(self):

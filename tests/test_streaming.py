@@ -357,6 +357,51 @@ class TestEngineStreamMode:
         )
         assert stream == batch
 
+    def test_non_streaming_attack_falls_back_with_warning_and_provenance(
+        self, monkeypatch
+    ):
+        import warnings
+
+        from repro.experiments import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_STREAM_FALLBACK_WARNED", set())
+        spec = ExperimentSpec(
+            name="stream-fallback-test",
+            mechanisms=["promesse:zone_radius_m=100.0,swap=always,seed=0"],
+            attacks=["tracking"],  # no 'execution' parameter: batch either way
+            worlds=["standard:scale=tiny,seed=5"],
+            seeds=[0],
+        )
+        batch = EvaluationEngine(cache=False).run(spec)
+        with pytest.warns(RuntimeWarning, match="'tracking'.*batch mode"):
+            stream = EvaluationEngine(cache=False).run(
+                dataclasses.replace(spec, mode="stream")
+            )
+        # The fallback is recorded in row provenance, and the numbers are
+        # exactly the batch numbers.
+        assert all(row["stream_fallback"] is True for row in stream)
+        stripped = [
+            {k: v for k, v in row.items() if k != "stream_fallback"} for row in stream
+        ]
+        assert stripped == batch
+        # Warned once per attack name: a repeat run stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            EvaluationEngine(cache=False).run(dataclasses.replace(spec, mode="stream"))
+
+    def test_streaming_capable_attacks_do_not_carry_the_marker(self):
+        spec = ExperimentSpec(
+            name="stream-no-fallback-test",
+            mechanisms=["identity"],
+            attacks=["zone-census:radius_m=100"],
+            worlds=["standard:scale=tiny,seed=5"],
+            seeds=[0],
+        )
+        stream = EvaluationEngine(cache=False).run(
+            dataclasses.replace(spec, mode="stream")
+        )
+        assert all("stream_fallback" not in row for row in stream)
+
     def test_mode_changes_the_cache_key(self):
         spec = ExperimentSpec(
             name="stream-mode-key-test",

@@ -198,32 +198,33 @@ class TestPickling:
 
 class TestWriterErrors:
     def test_duplicate_user_rejected(self, tmp_path):
-        writer = WorldStoreWriter(tmp_path / "world")
-        writer.append(make_line_trajectory(user_id="a"))
-        with pytest.raises(WorldStoreError):
+        with WorldStoreWriter(tmp_path / "world") as writer:
             writer.append(make_line_trajectory(user_id="a"))
+            with pytest.raises(WorldStoreError):
+                writer.append(make_line_trajectory(user_id="a"))
 
     def test_append_after_finalize_rejected(self, tmp_path):
-        writer = WorldStoreWriter(tmp_path / "world")
-        writer.append(make_line_trajectory(user_id="a"))
-        writer.finalize()
-        with pytest.raises(WorldStoreError):
-            writer.append(make_line_trajectory(user_id="b"))
+        with WorldStoreWriter(tmp_path / "world") as writer:
+            writer.append(make_line_trajectory(user_id="a"))
+            writer.finalize()
+            with pytest.raises(WorldStoreError):
+                writer.append(make_line_trajectory(user_id="b"))
 
     def test_newline_in_user_id_rejected(self, tmp_path):
-        writer = WorldStoreWriter(tmp_path / "world")
-        bad = Trajectory("evil\nuser", [0.0], [45.0], [4.0])
-        with pytest.raises(WorldStoreError):
-            writer.append(bad)
+        with WorldStoreWriter(tmp_path / "world") as writer:
+            bad = Trajectory("evil\nuser", [0.0], [45.0], [4.0])
+            with pytest.raises(WorldStoreError):
+                writer.append(bad)
 
     def test_open_missing_store_raises(self, tmp_path):
         with pytest.raises(WorldStoreError):
             WorldStore.open(tmp_path / "nope")
 
     def test_unfinalized_writer_is_not_a_store(self, tmp_path):
-        writer = WorldStoreWriter(tmp_path / "world")
-        writer.append(make_line_trajectory(user_id="a"))
-        # No finalize(): the header is written last, so no valid store exists.
+        with WorldStoreWriter(tmp_path / "world") as writer:
+            writer.append(make_line_trajectory(user_id="a"))
+        # No finalize(): the header is written last, so no valid store exists
+        # (close() only releases the column handles, it never seals).
         with pytest.raises(WorldStoreError):
             WorldStore.open(tmp_path / "world")
 

@@ -21,6 +21,11 @@ pinned baseline, which arms the ratchet.
 Error lines are normalised (paths made repo-relative, column numbers
 dropped) so the baseline is stable across machines and mypy point releases.
 
+``--sarif PATH`` additionally writes the run as a SARIF 2.1.0 document
+(ruleIds ``mypy/<code>``, baselined errors marked suppressed) through the
+same emitter reprolint uses, so CI uploads both linters through one
+code-scanning channel.
+
 Exit status: 0 clean/tolerated, 1 typed-core or new non-core errors,
 2 usage/environment problems (mypy missing).
 """
@@ -28,6 +33,7 @@ Exit status: 0 clean/tolerated, 1 typed-core or new non-core errors,
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -119,6 +125,32 @@ def read_baseline() -> Tuple[Set[str], bool]:
     return entries, bootstrap
 
 
+#: ``... message  [error-code]`` — the trailing mypy error code, if present.
+_CODE_RE = re.compile(r"\s+\[([\w-]+)\]$")
+
+
+def errors_to_sarif(unsuppressed: Sequence[str], suppressed: Sequence[str] = ()) -> str:
+    """Normalised mypy error lines as a SARIF document (shared emitter)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.analysis.sarif import sarif_document, sarif_result
+
+    results = []
+    for errors, is_suppressed in ((unsuppressed, False), (suppressed, True)):
+        for error in errors:
+            path, line_no, rest = error.split(":", 2)
+            message = rest.strip()
+            if message.startswith("error:"):
+                message = message[len("error:") :].strip()
+            match = _CODE_RE.search(message)
+            code = match.group(1) if match else "error"
+            results.append(
+                sarif_result(
+                    f"mypy/{code}", message, path, int(line_no), suppressed=is_suppressed
+                )
+            )
+    return json.dumps(sarif_document("mypy", results)) + "\n"
+
+
 def write_baseline(errors: Sequence[str]) -> None:
     with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
         handle.write(
@@ -149,6 +181,12 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "--force",
         action="store_true",
         help="allow --update to grow the baseline (normally it only shrinks)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write the run as SARIF (baselined errors marked suppressed)",
     )
     args = parser.parse_args(argv)
 
@@ -203,6 +241,16 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 print(f"  {error}")
         if not new:
             print(f"baseline: ok ({len(baseline)} recorded, none new)")
+
+    if args.sarif:
+        if bootstrap:
+            unsuppressed, suppressed = core_errors, rest_errors
+        else:
+            unsuppressed = core_errors + new
+            suppressed = sorted(set(rest_errors) & baseline)
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(errors_to_sarif(unsuppressed, suppressed))
+        print(f"sarif: wrote {args.sarif}")
 
     return 1 if failed else 0
 
