@@ -36,6 +36,7 @@ from .worlds import (
     list_worlds,
     make_world,
     register_world,
+    shard_world_specs,
 )
 from .runner import (
     DEFAULT_MECHANISM_SPECS,
@@ -80,6 +81,7 @@ __all__ = [
     "list_worlds",
     "RealWorld",
     "geolife_world",
+    "shard_world_specs",
     "format_table",
     "format_series",
     "format_percent",

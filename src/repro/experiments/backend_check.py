@@ -33,20 +33,35 @@ hundred bytes) rather than a pickled dataset::
 
     python -m repro.experiments.backend_check store --workers 2
 
-Exit status is non-zero on any mismatch.
+``fleet`` mode is the multi-host gate: out-of-process workers bootstrap
+through the non-loopback bind/advertise path (bind ``0.0.0.0``, advertise
+``127.0.0.1``), pull tasks in batches, lose one worker mid-run to a frozen
+host that only heartbeat eviction can detect, write rows directly into a
+shared :class:`~repro.experiments.cache.SqliteCellCache` (cold run ships
+zero row payloads; a warm rerun is 100% hits), and scatter-gather a sharded
+store world — every leg bitwise-identical to serial::
+
+    python -m repro.experiments.backend_check fleet --workers 2 --artifact-dir out/
+
+Exit status is non-zero on any mismatch.  Modes taking ``--artifact-dir``
+dump each backend's ``last_stats`` as JSON and collect worker logs there,
+so a CI failure uploads the full post-mortem.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import pickle
 import sys
 import tempfile
 from typing import Any, Dict, List, Optional, Sequence
 
 from .backends import MultiprocessingBackend, SerialBackend, WorkQueueBackend
+from .cache import SqliteCellCache
 from .engine import EvaluationEngine, ExperimentSpec, _world_fingerprint
-from .worlds import make_world
+from .worlds import make_world, shard_world_specs
 
 
 def check_spec(scale: str = "tiny", seed: int = 5) -> ExperimentSpec:
@@ -83,36 +98,202 @@ def _rows_identical(
     return False
 
 
-def run_equivalence(scale: str, workers: int, timeout_s: float) -> int:
+def _worker_log_dir(artifact_dir: Optional[str]) -> Optional[str]:
+    return os.path.join(artifact_dir, "worker-logs") if artifact_dir else None
+
+
+def _dump_stats(artifact_dir: Optional[str], stats_by_leg: Dict[str, Any]) -> None:
+    """Write every leg's ``backend.last_stats`` as JSON for CI artifact upload."""
+    if not artifact_dir:
+        return
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(artifact_dir, "backend_stats.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats_by_leg, handle, indent=2, sort_keys=True)
+    print(f"     stats written to {path}")
+
+
+def run_equivalence(
+    scale: str, workers: int, timeout_s: float, artifact_dir: Optional[str] = None
+) -> int:
     spec = check_spec(scale)
+    log_dir = _worker_log_dir(artifact_dir)
     reference = EvaluationEngine(backend=SerialBackend(), cache=False).run(spec)
     print(f"serial: {len(reference)} rows")
     failures = 0
+    stats_by_leg: Dict[str, Any] = {}
 
     mp_rows = EvaluationEngine(
         backend=MultiprocessingBackend(workers=workers), cache=False
     ).run(spec)
     failures += not _rows_identical(reference, mp_rows, "multiprocessing")
 
-    wq_backend = WorkQueueBackend(workers=workers, timeout_s=timeout_s)
+    wq_backend = WorkQueueBackend(workers=workers, timeout_s=timeout_s, log_dir=log_dir)
     wq_rows = EvaluationEngine(backend=wq_backend, cache=False).run(spec)
     failures += not _rows_identical(reference, wq_rows, "work-queue")
     print(f"     work-queue stats: {wq_backend.last_stats}")
+    stats_by_leg["work-queue"] = wq_backend.last_stats
 
     crash_backend = WorkQueueBackend(
-        workers=workers, timeout_s=timeout_s, fault_injection="crash-once"
+        workers=workers, timeout_s=timeout_s, fault_injection="crash-once", log_dir=log_dir
     )
     crash_rows = EvaluationEngine(backend=crash_backend, cache=False).run(spec)
     failures += not _rows_identical(reference, crash_rows, "work-queue+crash")
     stats = crash_backend.last_stats
     print(f"     killed-worker stats: {stats}")
+    stats_by_leg["work-queue+crash"] = stats
     if stats.get("workers_crashed", 0) < 1 or stats.get("requeues", 0) < 1:
         print("FAIL work-queue+crash: expected at least one crash and one requeue")
         failures += 1
 
+    _dump_stats(artifact_dir, stats_by_leg)
     print(
         f"{3 - min(failures, 3)}/3 backends produced identical rows"
         + (" (with killed-worker requeue exercised)" if not failures else "")
+    )
+    return 1 if failures else 0
+
+
+def run_fleet_check(
+    scale: str, workers: int, timeout_s: float, artifact_dir: Optional[str] = None
+) -> int:
+    """The multi-host gate: every fleet feature, each leg bitwise vs serial.
+
+    Five legs: (1) serial reference; (2) a plain fleet run through the
+    non-loopback bind/advertise path with batched pulls; (3) a frozen worker
+    — claims a batch, stops heartbeating, hangs with its process alive — that
+    must be evicted by heartbeat (not by process exit, not by waiting out
+    ``timeout_s``) and its tasks requeued; (4) a shared sqlite cell cache the
+    workers write into directly (the cold run ships zero row payloads back;
+    a warm rerun against the same file is 100% hits without touching the
+    queue); (5) a sharded store world scattered as ``shard=k/n`` spec strings
+    and gathered back — rows identical to serial evaluating the same shards.
+    """
+    spec = check_spec(scale)
+    fleet_kwargs: Dict[str, Any] = dict(
+        workers=workers,
+        timeout_s=timeout_s,
+        bind_host="0.0.0.0",
+        advertise_host="127.0.0.1",
+        batch=2,
+        heartbeat_s=0.2,
+        heartbeat_timeout_s=2.0,
+        log_dir=_worker_log_dir(artifact_dir),
+    )
+    failures = 0
+    stats_by_leg: Dict[str, Any] = {}
+
+    reference = EvaluationEngine(backend=SerialBackend(), cache=False).run(spec)
+    print(f"serial: {len(reference)} rows")
+
+    fleet_backend = WorkQueueBackend(**fleet_kwargs)
+    fleet_rows = EvaluationEngine(backend=fleet_backend, cache=False).run(spec)
+    failures += not _rows_identical(reference, fleet_rows, "fleet bind/advertise")
+    stats = fleet_backend.last_stats
+    stats_by_leg["fleet"] = stats
+    print(f"     fleet stats: {stats}")
+    if stats.get("address", {}).get("bind") != "0.0.0.0":
+        print("FAIL fleet: expected the server bound to 0.0.0.0")
+        failures += 1
+    if stats.get("workers_seen", 0) < min(workers, 2):
+        print(
+            f"FAIL fleet: expected >= {min(workers, 2)} out-of-process workers, "
+            f"saw {stats.get('workers_seen', 0)}"
+        )
+        failures += 1
+
+    frozen_backend = WorkQueueBackend(**fleet_kwargs, fault_injection="freeze-once")
+    frozen_rows = EvaluationEngine(backend=frozen_backend, cache=False).run(spec)
+    failures += not _rows_identical(reference, frozen_rows, "fleet+frozen-worker")
+    stats = frozen_backend.last_stats
+    stats_by_leg["fleet+frozen-worker"] = stats
+    print(f"     frozen-worker stats: {stats}")
+    if stats.get("heartbeat_evictions", 0) < 1 or stats.get("requeues", 0) < 1:
+        print(
+            "FAIL fleet+frozen-worker: expected at least one heartbeat "
+            "eviction and one requeue"
+        )
+        failures += 1
+    if not any(e.get("detected") == "heartbeat" for e in stats.get("evictions", [])):
+        print(
+            "FAIL fleet+frozen-worker: the dead worker must be detected by "
+            "heartbeat, not by process exit or timeout"
+        )
+        failures += 1
+
+    with tempfile.TemporaryDirectory(prefix="backend-check-fleet-") as tmp_dir:
+        cache = SqliteCellCache(os.path.join(tmp_dir, "cells.sqlite"))
+        try:
+            cold_backend = WorkQueueBackend(**fleet_kwargs)
+            cold_engine = EvaluationEngine(backend=cold_backend, cache=cache)
+            cold_rows = cold_engine.run(spec)
+            failures += not _rows_identical(reference, cold_rows, "fleet+shared-cache")
+            stats = cold_backend.last_stats
+            stats_by_leg["fleet+shared-cache"] = stats
+            print(f"     shared-cache stats: {stats}")
+            if stats.get("rows_shipped", 0) != 0:
+                print(
+                    f"FAIL fleet+shared-cache: {stats.get('rows_shipped')} row "
+                    "payloads shipped back — expected workers to write the "
+                    "shared cache and ship only acks"
+                )
+                failures += 1
+            if stats.get("cache_rows_written", 0) != len(reference):
+                print(
+                    f"FAIL fleet+shared-cache: workers wrote "
+                    f"{stats.get('cache_rows_written')} rows, expected {len(reference)}"
+                )
+                failures += 1
+
+            warm_backend = WorkQueueBackend(**fleet_kwargs)
+            warm_engine = EvaluationEngine(backend=warm_backend, cache=cache)
+            warm_rows = warm_engine.run(spec)
+            failures += not _rows_identical(reference, warm_rows, "fleet+warm-cache")
+            total = warm_engine.cache_hits + warm_engine.cache_misses
+            print(
+                f"     warm run: {warm_engine.cache_hits}/{total} hits, "
+                f"{warm_engine.cache_misses} misses"
+            )
+            if warm_engine.cache_misses != 0 or warm_engine.cache_hits != total:
+                print(
+                    "FAIL fleet+warm-cache: expected 100% hits from the rows "
+                    "the workers wrote"
+                )
+                failures += 1
+        finally:
+            cache.close()
+
+        # Scatter-gather: one store artifact, evaluated as two disjoint
+        # user shards — the spec-string form a fleet coordinator would
+        # scatter across hosts.
+        world = make_world(f"standard:scale={scale},seed=5")
+        from ..io.world_store import WorldStore
+
+        WorldStore.write(world.dataset, os.path.join(tmp_dir, "world"), overwrite=True)
+        shard_specs = shard_world_specs(
+            f"store:path={os.path.join(tmp_dir, 'world')}", 2
+        )
+        shard_spec = ExperimentSpec(
+            name="fleet-shards",
+            mechanisms=spec.mechanisms,
+            metrics=spec.metrics,
+            worlds=shard_specs,
+            seeds=[0],
+        )
+        shard_reference = EvaluationEngine(backend=SerialBackend(), cache=False).run(
+            shard_spec
+        )
+        shard_backend = WorkQueueBackend(**fleet_kwargs)
+        shard_rows = EvaluationEngine(backend=shard_backend, cache=False).run(shard_spec)
+        failures += not _rows_identical(shard_reference, shard_rows, "fleet+shards")
+        stats_by_leg["fleet+shards"] = shard_backend.last_stats
+        print(f"     sharded scatter-gather: {len(shard_specs)} store shards")
+
+    _dump_stats(artifact_dir, stats_by_leg)
+    print(
+        "fleet path matched serial bitwise on every leg"
+        if not failures
+        else f"{failures} fleet check(s) failed"
     )
     return 1 if failures else 0
 
@@ -289,6 +470,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     equivalence.add_argument("--scale", default="tiny", help="workload scale (default tiny)")
     equivalence.add_argument("--workers", type=int, default=2)
     equivalence.add_argument("--timeout-s", type=float, default=300.0)
+    equivalence.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="dump backend stats JSON + worker logs here (CI uploads on failure)",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="multi-host path: bind/advertise workers, heartbeat eviction, "
+        "shared-cache direct writes, sharded scatter-gather — all vs serial",
+    )
+    fleet.add_argument("--scale", default="tiny", help="workload scale (default tiny)")
+    fleet.add_argument("--workers", type=int, default=2)
+    fleet.add_argument("--timeout-s", type=float, default=300.0)
+    fleet.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="dump backend stats JSON + worker logs here (CI uploads on failure)",
+    )
 
     cache = subparsers.add_parser(
         "cache", help="cold→warm persistence against one SqliteCellCache file"
@@ -314,7 +514,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.mode == "equivalence":
-        return run_equivalence(args.scale, args.workers, args.timeout_s)
+        return run_equivalence(args.scale, args.workers, args.timeout_s, args.artifact_dir)
+    if args.mode == "fleet":
+        return run_fleet_check(args.scale, args.workers, args.timeout_s, args.artifact_dir)
     if args.mode == "stream":
         return run_stream_check(args.scale)
     if args.mode == "store":

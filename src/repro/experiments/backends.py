@@ -7,24 +7,36 @@ list of picklable *group payloads* (one per (world, seed, mechanism) — see
 * :class:`SerialBackend` — evaluate in-process, in order.
 * :class:`MultiprocessingBackend` — the historical ``multiprocessing.Pool``
   fan-out (fork where available).
-* :class:`WorkQueueBackend` — a spawn-safe work queue modelling many-host
-  fan-out: a TCP manager serves a task queue and a result queue, worker
-  *subprocesses* started via ``sys.executable -m repro.experiments.worker``
-  pull pickled payloads and push ``(task, rows)`` results.  A crashed worker
-  is detected, its claimed tasks are requeued once onto a replacement
-  worker, and a second crash on the same task surfaces as a structured
-  :class:`WorkQueueError`.  Per-worker cell counts are reported in
-  :attr:`WorkQueueBackend.last_stats`.
+* :class:`WorkQueueBackend` — a fleet-capable work queue: a TCP manager
+  serves a task queue and a result queue, worker processes — local
+  subprocesses the backend spawns, or remote interpreters bootstrapped with
+  ``python -m repro.experiments.worker --connect host:port`` — claim
+  *batches* of pickled payloads and push compact results back.  Liveness is
+  heartbeat-based (a frozen or killed host is evicted in seconds, its
+  claimed tasks requeued under a bounded budget), and when the engine's
+  cell cache is a shared :class:`~repro.experiments.cache.SqliteCellCache`
+  workers write finished rows straight into it and ship only ~100-byte
+  acks back over the wire.
 
 All backends return results in payload order and execute the exact same
 ``_evaluate_group`` code, so rows are bitwise-identical across backends (the
-backend-equivalence CI job and ``tests/test_backends.py`` pin this).
+backend-equivalence and fleet-equivalence CI jobs and
+``tests/test_backends.py`` pin this).
 
 Backends are selectable by spec string wherever the engine is constructed::
 
     EvaluationEngine(backend="serial")
     EvaluationEngine(backend="multiprocessing:workers=4")
     EvaluationEngine(backend="work-queue:workers=4")
+    EvaluationEngine(backend="work-queue:bind=0.0.0.0,advertise=10.0.0.5,workers=0")
+
+The last form is a *fleet coordinator*: it binds every interface, spawns no
+local workers, and waits for remote hosts to connect with the one-line
+bootstrap (the authkey travels via the :data:`AUTHKEY_ENV` environment
+variable, never on the command line)::
+
+    REPRO_WORKQUEUE_AUTHKEY=<hex> python -m repro.experiments.worker \
+        --connect 10.0.0.5:9000
 """
 
 from __future__ import annotations
@@ -41,6 +53,8 @@ import time
 from multiprocessing.managers import BaseManager
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
+from .cache import CellCacheStore, SqliteCellCache
+
 __all__ = [
     "SchedulerBackend",
     "SerialBackend",
@@ -50,19 +64,32 @@ __all__ = [
     "make_backend",
     "AUTHKEY_ENV",
     "CRASH_ENV",
+    "LOG_DIR_ENV",
 ]
 
 #: Environment variable carrying the work-queue authkey (hex) to workers.
 AUTHKEY_ENV = "REPRO_WORKQUEUE_AUTHKEY"
 
-#: Fault-injection hook: a worker started with this set exits hard
-#: (``os._exit``) on its first task — ``"claim"`` right *after* sending the
-#: claim message, ``"pre-claim"`` right after pulling the task but *before*
-#: claiming it (the lost-in-claim-window case).  How the CI equivalence job
-#: and the tests exercise the crash-recovery paths.
+#: Fault-injection hook: a worker started with this set misbehaves on its
+#: first batch — ``"claim"`` exits hard right *after* sending the claim
+#: message, ``"pre-claim"`` right after pulling the batch but *before*
+#: claiming it (the lost-in-claim-window case), ``"freeze"`` stops
+#: heartbeating and hangs forever while the process stays alive (the frozen
+#: remote host only heartbeat eviction can catch).  How the CI equivalence
+#: jobs and the tests exercise the recovery paths.
 CRASH_ENV = "REPRO_WORKQUEUE_CRASH_ON_CLAIM"
 
+#: When set, spawned workers write stdout/stderr to ``<dir>/worker-<id>.log``
+#: instead of inheriting the coordinator's streams (CI uploads these on
+#: backend_check failure).
+LOG_DIR_ENV = "REPRO_WORKER_LOG_DIR"
+
 GroupResult = List[Tuple[int, Dict[str, Any]]]
+
+#: Per-payload serialized cell-key texts (``None`` for uncacheable cells),
+#: aligned with the payload's cell list — how the engine tells a backend
+#: which rows may be written straight into a shared cache by workers.
+CellKeys = Optional[Sequence[Optional[Sequence[Optional[str]]]]]
 
 
 def _evaluate(payload: Tuple) -> GroupResult:
@@ -72,11 +99,23 @@ def _evaluate(payload: Tuple) -> GroupResult:
 
 
 class SchedulerBackend:
-    """Executes group payloads; returns one result list per payload, in order."""
+    """Executes group payloads; returns one result list per payload, in order.
+
+    ``cell_keys``/``cache`` are an optional engine → backend channel: the
+    serialized cell-cache key of every cell in every payload and the engine's
+    cache store.  Backends that can complete the storage loop remotely (the
+    work queue writing rows into a shared :class:`SqliteCellCache` from the
+    workers) use them; in-process backends ignore them.
+    """
 
     name: str = "?"
 
-    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+    def map_groups(
+        self,
+        payloads: Sequence[Tuple],
+        cell_keys: CellKeys = None,
+        cache: Optional[CellCacheStore] = None,
+    ) -> List[GroupResult]:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -88,7 +127,12 @@ class SerialBackend(SchedulerBackend):
 
     name = "serial"
 
-    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+    def map_groups(
+        self,
+        payloads: Sequence[Tuple],
+        cell_keys: CellKeys = None,
+        cache: Optional[CellCacheStore] = None,
+    ) -> List[GroupResult]:
         return [_evaluate(payload) for payload in payloads]
 
 
@@ -107,7 +151,12 @@ class MultiprocessingBackend(SchedulerBackend):
             raise ValueError("workers must be at least 1")
         self.workers = int(workers)
 
-    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+    def map_groups(
+        self,
+        payloads: Sequence[Tuple],
+        cell_keys: CellKeys = None,
+        cache: Optional[CellCacheStore] = None,
+    ) -> List[GroupResult]:
         if self.workers <= 1 or len(payloads) <= 1:
             return [_evaluate(payload) for payload in payloads]
         methods = multiprocessing.get_all_start_methods()
@@ -126,7 +175,7 @@ class WorkQueueError(RuntimeError):
     ----------
     failures:
         One dict per undeliverable or failed task:
-        ``{"task": int, "attempts": int, "workers": [ranks], "reason": str}``.
+        ``{"task": int, "attempts": int, "workers": [ids], "reason": str}``.
     """
 
     def __init__(self, message: str, failures: List[Dict[str, Any]]) -> None:
@@ -151,29 +200,61 @@ def _make_queue_manager(
     return _QueueManager
 
 
+#: One task entry on the wire: ``(task_id, pickled_payload, cache_directive)``
+#: where the directive is ``None`` (ship rows back) or ``(sqlite_path,
+#: (key_text_per_cell, ...))`` (write rows into the shared cache, ship an
+#: ack).  Task-queue items are *batches*: lists of entries claimed in one
+#: round-trip.
+TaskEntry = Tuple[int, bytes, Optional[Tuple[str, Tuple[Optional[str], ...]]]]
+
+
 class WorkQueueBackend(SchedulerBackend):
-    """A spawn-safe work queue over subprocess workers (many-host model).
+    """A fleet-capable work queue over TCP (local subprocesses or real hosts).
 
-    The parent starts a :class:`multiprocessing.managers.BaseManager` server
-    (in a daemon thread) exposing a task queue and a result queue, enqueues
-    every payload *pickled*, and launches ``workers`` fresh interpreters via
-    ``sys.executable -m repro.experiments.worker --host H --port P``.  Workers
-    claim tasks (so the parent knows what a crashed worker was holding),
-    evaluate them and push results back.  Nothing is inherited from the
-    parent process — the same protocol would drive workers on other hosts.
+    The coordinator starts a :class:`multiprocessing.managers.BaseManager`
+    server on ``(bind_host, port)`` exposing a task queue and a result queue,
+    enqueues every payload *pickled* in batches of ``batch`` entries, and
+    launches ``workers`` fresh local interpreters via
+    ``sys.executable -m repro.experiments.worker --connect advertise:port``
+    — the exact bootstrap a remote host uses, so the local and multi-host
+    paths are one code path.  ``workers=0`` spawns nothing and waits for
+    remote workers to connect (the fleet-coordinator mode).
 
-    Fault tolerance: when a worker process exits without completing its
-    claimed tasks, each such task is requeued at most ``max_requeues`` times
-    onto a replacement worker; beyond that the run fails with a
-    :class:`WorkQueueError` naming the task and the workers that died holding
-    it.  In-task Python exceptions are *not* retried (they are
-    deterministic); they re-raise in the parent with the worker traceback.
+    Liveness is heartbeat-based: every worker runs a heartbeat thread that
+    stamps the result queue every ``heartbeat_s`` seconds (claims, acks and
+    results also count as heartbeats).  A worker holding claimed tasks that
+    has not been heard from for ``heartbeat_timeout_s`` is *evicted* — its
+    process is killed if local, its claimed tasks are requeued at most
+    ``max_requeues`` times, and the eviction is recorded in
+    :attr:`last_stats` — so a frozen or unplugged host costs seconds, not
+    the whole run ``timeout_s``.  Local worker process exits are detected
+    by ``poll()`` even faster.  In-task Python exceptions are *not* retried
+    (they are deterministic); they re-raise in the coordinator with the
+    worker traceback.
 
-    After a successful run :attr:`last_stats` holds
-    ``{"worker_cell_counts": {rank: n_cells}, "requeues": int, "workers_crashed": int}``.
+    When the engine's cache store is a shared :class:`SqliteCellCache` and
+    every cell of a payload is cacheable, the task carries the cells'
+    serialized key texts instead of expecting rows back: the worker writes
+    each finished row directly into the sqlite file (safe under concurrent
+    writers) and pushes a compact ``("cached", n)`` ack; the coordinator
+    gathers the rows from the cache.  Result shipping drops from pickled row
+    payloads to ~100 bytes per task — :attr:`last_stats` proves it with
+    ``rows_shipped`` / ``cache_rows_written``.
 
-    A worker can also die *between* pulling a task and sending its claim —
-    then the task is in neither the queue nor the claim table.  Once every
+    After a successful run :attr:`last_stats` holds::
+
+        {
+          "worker_cell_counts": {worker_id: n_cells},
+          "requeues": int, "workers_crashed": int,
+          "heartbeat_evictions": int,
+          "evictions": [{"worker", "detected", "tasks"}],
+          "workers_seen": int, "task_batches": int,
+          "rows_shipped": int, "cache_rows_written": int,
+          "address": {"bind", "advertise", "port"},
+        }
+
+    A worker can also die *between* pulling a batch and sending its claim —
+    then the tasks are in neither the queue nor the claim table.  Once every
     unclaimed pending task has been missing from the queue for longer than
     ``claim_grace_s`` (claims normally arrive within milliseconds), those
     tasks are requeued under the same budget instead of hanging until the
@@ -183,11 +264,21 @@ class WorkQueueBackend(SchedulerBackend):
     *initial* workers with :data:`CRASH_ENV` set (they die right after their
     first claim; replacements are clean), ``"crash-always"`` poisons
     replacements too, which exhausts the requeue budget deterministically,
-    and ``"crash-pre-claim"`` makes the initial workers die in the claim
-    window (task pulled, never claimed).
+    ``"crash-pre-claim"`` makes the initial workers die in the claim window
+    (batch pulled, never claimed), and ``"freeze-once"`` makes them claim a
+    batch, stop heartbeating and hang — alive to ``poll()``, dead to the
+    heartbeat — so only eviction can recover the run.
     """
 
     name = "work-queue"
+
+    _FAULT_MODES = {
+        None: (None, None),
+        "crash-once": ("claim", None),
+        "crash-always": ("claim", "claim"),
+        "crash-pre-claim": ("pre-claim", None),
+        "freeze-once": ("freeze", None),
+    }
 
     def __init__(
         self,
@@ -197,13 +288,27 @@ class WorkQueueBackend(SchedulerBackend):
         poll_interval_s: float = 0.05,
         claim_grace_s: float = 1.0,
         fault_injection: Optional[str] = None,
+        bind_host: str = "127.0.0.1",
+        advertise_host: Optional[str] = None,
+        port: int = 0,
+        batch: int = 1,
+        heartbeat_s: float = 1.0,
+        heartbeat_timeout_s: float = 10.0,
+        log_dir: Optional[str] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
-        if fault_injection not in (None, "crash-once", "crash-always", "crash-pre-claim"):
+        if workers < 0:
+            raise ValueError("workers must be at least 0 (0 = remote workers only)")
+        if fault_injection not in self._FAULT_MODES:
+            choices = ", ".join(repr(k) for k in self._FAULT_MODES if k)
             raise ValueError(
-                f"unknown fault_injection {fault_injection!r}; choose None, "
-                "'crash-once', 'crash-always' or 'crash-pre-claim'"
+                f"unknown fault_injection {fault_injection!r}; choose None, {choices}"
+            )
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        if heartbeat_s <= 0 or heartbeat_timeout_s <= heartbeat_s:
+            raise ValueError(
+                "need 0 < heartbeat_s < heartbeat_timeout_s, got "
+                f"{heartbeat_s} / {heartbeat_timeout_s}"
             )
         self.workers = int(workers)
         self.max_requeues = int(max_requeues)
@@ -211,6 +316,17 @@ class WorkQueueBackend(SchedulerBackend):
         self.poll_interval_s = float(poll_interval_s)
         self.claim_grace_s = float(claim_grace_s)
         self.fault_injection = fault_injection
+        self.bind_host = str(bind_host)
+        if advertise_host is None:
+            # Binding every interface still needs a concrete address workers
+            # can dial; loopback is the only universally correct default.
+            advertise_host = "127.0.0.1" if bind_host in ("0.0.0.0", "::") else bind_host
+        self.advertise_host = str(advertise_host)
+        self.port = int(port)
+        self.batch = int(batch)
+        self.heartbeat_s = float(heartbeat_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.log_dir = log_dir if log_dir is not None else os.environ.get(LOG_DIR_ENV) or None
         self.last_stats: Dict[str, Any] = {}
 
     # -- worker process management ------------------------------------------------
@@ -232,35 +348,87 @@ class WorkQueueBackend(SchedulerBackend):
         return env
 
     def _spawn_worker(
-        self, rank: int, host: str, port: int, authkey_hex: str, crash: Optional[str]
+        self, worker_id: str, port: int, authkey_hex: str, crash: Optional[str]
     ) -> subprocess.Popen:
-        return subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.experiments.worker",
-                "--host",
-                host,
-                "--port",
-                str(port),
-                "--rank",
-                str(rank),
-            ],
-            env=self._worker_env(authkey_hex, crash),
-        )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.experiments.worker",
+            "--connect",
+            f"{self.advertise_host}:{port}",
+            "--rank",
+            worker_id,
+            "--heartbeat-s",
+            repr(self.heartbeat_s),
+        ]
+        env = self._worker_env(authkey_hex, crash)
+        if self.log_dir:
+            os.makedirs(self.log_dir, exist_ok=True)
+            log_path = os.path.join(self.log_dir, f"worker-{worker_id}.log")
+            with open(log_path, "ab") as log_file:
+                # The child keeps its duplicated fd; ours closes with the block.
+                return subprocess.Popen(argv, env=env, stdout=log_file, stderr=log_file)
+        return subprocess.Popen(argv, env=env)
+
+    # -- dispatch helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _cache_directives(
+        payloads: Sequence[Tuple],
+        cell_keys: CellKeys,
+        cache: Optional[CellCacheStore],
+    ) -> List[Optional[Tuple[str, Tuple[Optional[str], ...]]]]:
+        """Per-task shared-cache directives (``None`` = ship rows back).
+
+        A task goes through the direct-write path only when the engine's
+        store is a shared sqlite file and *every* cell of the payload has a
+        serialized key — a partially cacheable group still ships rows, so
+        the coordinator never has to merge the two result channels for one
+        task.
+        """
+        directives: List[Optional[Tuple[str, Tuple[Optional[str], ...]]]] = [None] * len(payloads)
+        if not isinstance(cache, SqliteCellCache) or cell_keys is None:
+            return directives
+        path = os.path.abspath(cache.path)
+        for i, keys in enumerate(cell_keys):
+            if keys is not None and keys and all(k is not None for k in keys):
+                directives[i] = (path, tuple(keys))
+        return directives
 
     # -- the run loop -------------------------------------------------------------
 
-    def map_groups(self, payloads: Sequence[Tuple]) -> List[GroupResult]:
+    def map_groups(
+        self,
+        payloads: Sequence[Tuple],
+        cell_keys: CellKeys = None,
+        cache: Optional[CellCacheStore] = None,
+    ) -> List[GroupResult]:
+        stats: Dict[str, Any] = {
+            "worker_cell_counts": {},
+            "requeues": 0,
+            "workers_crashed": 0,
+            "heartbeat_evictions": 0,
+            "evictions": [],
+            "workers_seen": 0,
+            "task_batches": 0,
+            "rows_shipped": 0,
+            "cache_rows_written": 0,
+            "address": {"bind": self.bind_host, "advertise": self.advertise_host, "port": None},
+        }
         if not payloads:
-            self.last_stats = {"worker_cell_counts": {}, "requeues": 0, "workers_crashed": 0}
+            self.last_stats = stats
             return []
 
         task_queue: "queue.Queue" = queue.Queue()
         result_queue: "queue.Queue" = queue.Queue()
         manager_class = _make_queue_manager(task_queue, result_queue)
-        authkey_hex = secrets.token_hex(16)
-        manager = manager_class(address=("127.0.0.1", 0), authkey=authkey_hex.encode("ascii"))
+        # Local runs get a fresh random key per run; a fleet coordinator
+        # honours a preset key from the environment, since remote hosts
+        # must be handed the same value to pass the handshake.
+        authkey_hex = os.environ.get(AUTHKEY_ENV) or secrets.token_hex(16)
+        manager = manager_class(
+            address=(self.bind_host, self.port), authkey=authkey_hex.encode("ascii")
+        )
         # Any: the Server type (and its stop_event/listener) is not in typeshed.
         server: Any = manager.get_server()
 
@@ -272,38 +440,66 @@ class WorkQueueBackend(SchedulerBackend):
 
         server_thread = threading.Thread(target=_serve, daemon=True)
         server_thread.start()
-        host, port = server.address
+        port = int(server.address[1])
+        stats["address"]["port"] = port
 
         blobs = [pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL) for payload in payloads]
-        for task_id, blob in enumerate(blobs):
-            task_queue.put((task_id, blob))
+        directives = self._cache_directives(payloads, cell_keys, cache)
+        entries: List[TaskEntry] = [
+            (task_id, blob, directives[task_id]) for task_id, blob in enumerate(blobs)
+        ]
+        for start in range(0, len(entries), self.batch):
+            task_queue.put(entries[start : start + self.batch])
 
-        crash_initial: Optional[str] = {
-            "crash-once": "claim",
-            "crash-always": "claim",
-            "crash-pre-claim": "pre-claim",
-        }.get(self.fault_injection or "")
-        crash_respawn: Optional[str] = (
-            "claim" if self.fault_injection == "crash-always" else None
-        )
-        procs: Dict[int, subprocess.Popen] = {}
+        crash_initial, crash_respawn = self._FAULT_MODES[self.fault_injection]
+        procs: Dict[str, subprocess.Popen] = {}
         next_rank = 0
-        for _ in range(min(self.workers, len(blobs))):
-            procs[next_rank] = self._spawn_worker(next_rank, host, port, authkey_hex, crash_initial)
+        for _ in range(min(self.workers, len(entries))):
+            worker_id = str(next_rank)
+            procs[worker_id] = self._spawn_worker(worker_id, port, authkey_hex, crash_initial)
             next_rank += 1
 
         results: List[Optional[GroupResult]] = [None] * len(blobs)
+        cached_done: Dict[int, int] = {}  # task_id -> acked row count
         pending = set(range(len(blobs)))
-        claims: Dict[int, int] = {}  # task_id -> rank currently holding it
+        claims: Dict[int, str] = {}  # task_id -> worker_id currently holding it
         attempts: Dict[int, int] = {task_id: 0 for task_id in pending}
-        task_ranks: Dict[int, List[int]] = {task_id: [] for task_id in pending}
-        worker_cells: Dict[int, int] = {}
-        requeues = 0
-        crashed = 0
+        task_workers: Dict[int, List[str]] = {task_id: [] for task_id in pending}
+        worker_cells: Dict[str, int] = {}
+        last_seen: Dict[str, float] = {}
         failures: List[Dict[str, Any]] = []
-        worker_error: Optional[Tuple[int, int, str]] = None
+        worker_error: Optional[Tuple[int, str, str]] = None
         deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
         lost_since: Optional[float] = None
+
+        def _requeue_or_fail(task_id: int, reason: str) -> None:
+            claims.pop(task_id, None)
+            if attempts[task_id] <= self.max_requeues:
+                task_queue.put([(task_id, blobs[task_id], directives[task_id])])
+                stats["requeues"] += 1
+            else:
+                pending.discard(task_id)
+                failures.append(
+                    {
+                        "task": task_id,
+                        "attempts": attempts[task_id],
+                        "workers": list(task_workers[task_id]),
+                        "reason": reason,
+                    }
+                )
+
+        def _evict(worker_id: str, detected: str, reason: str) -> None:
+            proc = procs.pop(worker_id, None)
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            held = sorted(t for t, w in claims.items() if w == worker_id and t in pending)
+            for task_id in held:
+                _requeue_or_fail(task_id, reason)
+            stats["evictions"].append(
+                {"worker": worker_id, "detected": detected, "tasks": held}
+            )
+            last_seen.pop(worker_id, None)
 
         try:
             while pending and worker_error is None:
@@ -313,56 +509,78 @@ class WorkQueueBackend(SchedulerBackend):
                     message = None
                 if message is not None:
                     kind = message[0]
+                    worker_id = str(message[1])
+                    if worker_id not in last_seen:
+                        stats["workers_seen"] += 1
+                    last_seen[worker_id] = time.monotonic()
                     if kind == "claim":
-                        _, task_id, rank = message
-                        attempts[task_id] += 1
-                        claims[task_id] = rank
-                        task_ranks[task_id].append(rank)
+                        _, _, task_ids = message
+                        stats["task_batches"] += 1
+                        for task_id in task_ids:
+                            attempts[task_id] += 1
+                            claims[task_id] = worker_id
+                            task_workers[task_id].append(worker_id)
                     elif kind == "done":
-                        _, task_id, rank, rows = message
+                        _, _, task_id, result = message
                         if task_id in pending:
                             pending.discard(task_id)
-                            results[task_id] = rows
-                            worker_cells[rank] = worker_cells.get(rank, 0) + len(rows)
+                            result_kind, value = result
+                            if result_kind == "cached":
+                                cached_done[task_id] = int(value)
+                                n_rows = int(value)
+                                stats["cache_rows_written"] += n_rows
+                            else:
+                                results[task_id] = value
+                                n_rows = len(value)
+                                stats["rows_shipped"] += n_rows
+                            worker_cells[worker_id] = worker_cells.get(worker_id, 0) + n_rows
                         claims.pop(task_id, None)
                     elif kind == "error":
-                        _, task_id, rank, traceback_text = message
-                        worker_error = (task_id, rank, traceback_text)
+                        _, _, task_id, traceback_text = message
+                        worker_error = (task_id, worker_id, traceback_text)
+                    # "hello" and "heartbeat" only refresh last_seen.
                     continue  # drain eagerly before liveness checks
 
                 # No message: check worker liveness and the deadline.
-                for rank, proc in list(procs.items()):
+                now = time.monotonic()
+                for worker_id, proc in list(procs.items()):
                     if proc.poll() is None:
                         continue
-                    del procs[rank]
-                    crashed += 1
-                    held = [t for t, r in claims.items() if r == rank and t in pending]
-                    for task_id in held:
-                        claims.pop(task_id, None)
-                        if attempts[task_id] <= self.max_requeues:
-                            task_queue.put((task_id, blobs[task_id]))
-                            requeues += 1
-                        else:
-                            pending.discard(task_id)
-                            failures.append(
-                                {
-                                    "task": task_id,
-                                    "attempts": attempts[task_id],
-                                    "workers": list(task_ranks[task_id]),
-                                    "reason": (
-                                        f"worker crashed (exit {proc.returncode}) on "
-                                        f"attempt {attempts[task_id]}; requeue budget "
-                                        f"({self.max_requeues}) exhausted"
-                                    ),
-                                }
-                            )
-                    if pending and not failures:
-                        procs[next_rank] = self._spawn_worker(
-                            next_rank, host, port, authkey_hex, crash_respawn
+                    stats["workers_crashed"] += 1
+                    _evict(
+                        worker_id,
+                        "exit",
+                        f"worker crashed (exit {proc.returncode}); requeue budget "
+                        f"({self.max_requeues}) exhausted",
+                    )
+                # Heartbeat eviction: any worker (local *or* remote) holding
+                # claimed tasks that has gone silent past the timeout is dead
+                # to the run — a frozen host never exits, so poll() alone
+                # would wait out timeout_s.
+                silent = {
+                    worker_id
+                    for task_id, worker_id in claims.items()
+                    if task_id in pending
+                    and now - last_seen.get(worker_id, now) > self.heartbeat_timeout_s
+                }
+                for worker_id in silent:
+                    stats["heartbeat_evictions"] += 1
+                    _evict(
+                        worker_id,
+                        "heartbeat",
+                        f"worker silent for more than {self.heartbeat_timeout_s}s "
+                        f"(heartbeat eviction); requeue budget ({self.max_requeues}) "
+                        "exhausted",
+                    )
+                if self.workers > 0 and not failures:
+                    while pending and len(procs) < min(self.workers, len(pending)):
+                        worker_id = str(next_rank)
+                        procs[worker_id] = self._spawn_worker(
+                            worker_id, port, authkey_hex, crash_respawn
                         )
                         next_rank += 1
-                # Tasks lost in the claim window: a worker pulled a task and
-                # died before sending its claim, so the task is in neither
+                # Tasks lost in the claim window: a worker pulled a batch and
+                # died before sending its claim, so the tasks are in neither
                 # the queue nor the claim table.  Claims normally arrive
                 # within milliseconds; once unclaimed pending tasks have been
                 # missing from an *empty* queue for the full grace period,
@@ -371,37 +589,21 @@ class WorkQueueBackend(SchedulerBackend):
                 missing = [t for t in sorted(pending) if t not in claims]
                 if missing and task_queue.qsize() == 0:
                     if lost_since is None:
-                        lost_since = time.monotonic()
-                    elif time.monotonic() - lost_since >= self.claim_grace_s:
+                        lost_since = now
+                    elif now - lost_since >= self.claim_grace_s:
                         lost_since = None
                         for task_id in missing:
                             attempts[task_id] += 1
-                            if attempts[task_id] <= self.max_requeues:
-                                task_queue.put((task_id, blobs[task_id]))
-                                requeues += 1
-                            else:
-                                pending.discard(task_id)
-                                failures.append(
-                                    {
-                                        "task": task_id,
-                                        "attempts": attempts[task_id],
-                                        "workers": list(task_ranks[task_id]),
-                                        "reason": (
-                                            "task lost before claim; requeue "
-                                            f"budget ({self.max_requeues}) exhausted"
-                                        ),
-                                    }
-                                )
+                            _requeue_or_fail(
+                                task_id,
+                                "task lost before claim; requeue budget "
+                                f"({self.max_requeues}) exhausted",
+                            )
                 else:
                     lost_since = None
-                if pending and not procs and not failures:
-                    procs[next_rank] = self._spawn_worker(
-                        next_rank, host, port, authkey_hex, crash_respawn
-                    )
-                    next_rank += 1
                 if failures:
                     break
-                if deadline is not None and time.monotonic() > deadline:
+                if deadline is not None and now > deadline:
                     raise WorkQueueError(
                         f"work queue timed out after {self.timeout_s}s with "
                         f"{len(pending)} of {len(blobs)} tasks unfinished",
@@ -409,19 +611,20 @@ class WorkQueueBackend(SchedulerBackend):
                             {
                                 "task": task_id,
                                 "attempts": attempts[task_id],
-                                "workers": list(task_ranks[task_id]),
+                                "workers": list(task_workers[task_id]),
                                 "reason": "timeout",
                             }
                             for task_id in sorted(pending)
                         ],
                     )
         finally:
-            self._shutdown(procs, task_queue, server)
+            self._shutdown(procs, task_queue, server, len(last_seen))
 
         if worker_error is not None:
-            task_id, rank, traceback_text = worker_error
+            task_id, worker_id, traceback_text = worker_error
             raise RuntimeError(
-                f"cell group {task_id} raised in work-queue worker {rank}:\n{traceback_text}"
+                f"cell group {task_id} raised in work-queue worker {worker_id}:\n"
+                f"{traceback_text}"
             )
         if failures:
             detail = "; ".join(
@@ -430,20 +633,45 @@ class WorkQueueBackend(SchedulerBackend):
             )
             raise WorkQueueError(f"work queue gave up on {len(failures)} task(s): {detail}", failures)
 
-        self.last_stats = {
-            "worker_cell_counts": dict(sorted(worker_cells.items())),
-            "requeues": requeues,
-            "workers_crashed": crashed,
-        }
+        # Gather the direct-written rows from the shared cache: the workers
+        # shipped only acks, the coordinator reads the finished rows back by
+        # their serialized keys (the scatter-gather close of the loop).
+        if cached_done:
+            assert isinstance(cache, SqliteCellCache)  # directives imply it
+            for task_id, n_rows in cached_done.items():
+                directive = directives[task_id]
+                assert directive is not None
+                _, key_texts = directive
+                cell_args = payloads[task_id][6]
+                gathered: GroupResult = []
+                for (index, _, _, _), key_text in zip(cell_args, key_texts):
+                    assert key_text is not None
+                    row = cache.get_serialized(key_text)
+                    if row is None:
+                        raise WorkQueueError(
+                            f"worker acked {n_rows} cached rows for task {task_id} "
+                            f"but key {key_text!r} is missing from {cache.path!r}",
+                            [{"task": task_id, "attempts": attempts[task_id],
+                              "workers": list(task_workers[task_id]),
+                              "reason": "cache ack without cached row"}],
+                        )
+                    gathered.append((index, row))
+                results[task_id] = gathered
+
+        stats["worker_cell_counts"] = dict(sorted(worker_cells.items()))
+        self.last_stats = stats
         return [result for result in results if result is not None]
 
     def _shutdown(
         self,
-        procs: Mapping[int, "subprocess.Popen"],
+        procs: Mapping[str, "subprocess.Popen"],
         task_queue: "queue.Queue",
         server: Any,  # multiprocessing.managers Server (no public type)
+        n_known_workers: int,
     ) -> None:
-        for _ in range(len(procs) + 1):
+        # One sentinel per process we spawned, per worker we ever heard from
+        # (covers remote --connect workers), plus one spare.
+        for _ in range(len(procs) + n_known_workers + 1):
             task_queue.put(None)  # sentinel: workers exit their loop
         deadline = time.monotonic() + 5.0
         for proc in procs.values():
@@ -461,7 +689,9 @@ class WorkQueueBackend(SchedulerBackend):
 
     def __repr__(self) -> str:
         return (
-            f"WorkQueueBackend(workers={self.workers}, max_requeues={self.max_requeues})"
+            f"WorkQueueBackend(workers={self.workers}, max_requeues={self.max_requeues}, "
+            f"bind={self.bind_host!r}, advertise={self.advertise_host!r}, "
+            f"batch={self.batch})"
         )
 
 
@@ -473,7 +703,13 @@ def make_backend(backend: Any, default_workers: int = 1) -> SchedulerBackend:
     ``"multiprocessing:workers=4"`` (alias ``"mp"``), or
     ``"work-queue:workers=4"`` (alias ``"workqueue"``); a spec without
     ``workers`` inherits ``default_workers`` (floored at 2 for the parallel
-    backends, which otherwise degenerate to serial).
+    backends, which otherwise degenerate to serial).  The work queue accepts
+    the fleet knobs ``bind``/``advertise``/``port`` (spelled ``bind_host``/
+    ``advertise_host``/``port`` as constructor arguments), ``batch``,
+    ``heartbeat_s``/``heartbeat_timeout_s`` and ``workers=0`` (no local
+    workers; remote hosts connect with the worker bootstrap one-liner)::
+
+        make_backend("work-queue:bind=0.0.0.0,advertise=10.0.0.5,workers=0,batch=4")
     """
     if isinstance(backend, SchedulerBackend):
         return backend
@@ -492,6 +728,12 @@ def make_backend(backend: Any, default_workers: int = 1) -> SchedulerBackend:
         if name in ("multiprocessing", "mp", "pool"):
             return MultiprocessingBackend(workers=workers)
         if name in ("work-queue", "workqueue", "queue"):
+            # Spec spelling: bind=/advertise= (short, address-like); the
+            # constructor spells them out.
+            if "bind" in params:
+                params["bind_host"] = str(params.pop("bind"))
+            if "advertise" in params:
+                params["advertise_host"] = str(params.pop("advertise"))
             return WorkQueueBackend(workers=workers, **params)
         raise RegistryError(
             f"unknown scheduler backend {backend!r}; choose 'serial', "

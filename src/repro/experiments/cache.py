@@ -203,18 +203,31 @@ class SqliteCellCache(CellCacheStore):
         return connection
 
     def get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        return self.get_serialized(serialize_cell_key(key))
+
+    def put(self, key: Tuple, row: Dict[str, Any]) -> None:
+        self.put_serialized(serialize_cell_key(key), row)
+
+    def get_serialized(self, key_text: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get`, keyed by an already-serialized key text.
+
+        The fleet path serializes keys once on the coordinator and ships the
+        text to workers; both sides then address the same rows without ever
+        re-deriving the tuple.
+        """
         cursor = self._connection().execute(
-            "SELECT row FROM cells WHERE key = ?", (serialize_cell_key(key),)
+            "SELECT row FROM cells WHERE key = ?", (key_text,)
         )
         hit = cursor.fetchone()
         return pickle.loads(hit[0]) if hit is not None else None
 
-    def put(self, key: Tuple, row: Dict[str, Any]) -> None:
+    def put_serialized(self, key_text: str, row: Dict[str, Any]) -> None:
+        """Like :meth:`put`, keyed by an already-serialized key text."""
         connection = self._connection()
         connection.execute(
             "INSERT OR REPLACE INTO cells (key, row) VALUES (?, ?)",
             (
-                serialize_cell_key(key),
+                key_text,
                 pickle.dumps(dict(row), protocol=pickle.HIGHEST_PROTOCOL),
             ),
         )

@@ -51,7 +51,7 @@ from ..api.registry import (
 from ..api.result import PublicationResult
 from ..core.trajectory import MobilityDataset
 from .backends import SchedulerBackend, make_backend
-from .cache import CellCacheStore, make_cache_store
+from .cache import CellCacheStore, make_cache_store, serialize_cell_key
 from .workloads import split_train_publish
 
 # World resolution lives in the registry module; re-exported here because the
@@ -508,7 +508,26 @@ class EvaluationEngine:
                     for _, _, attack_item, _ in payload[6]
                 )
                 (parallel if mech_ok and attacks_ok else inline).append(payload)
-            results = list(self.backend.map_groups(parallel)) if parallel else []
+            # Hand the backend each parallel cell's serialized cache key (or
+            # None for uncacheable cells) plus the store: a fleet backend
+            # whose workers share the sqlite file writes rows directly into
+            # it and ships only acks back.  In-process backends ignore both.
+            parallel_keys: List[Optional[List[Optional[str]]]] = []
+            for payload in parallel:
+                keys: List[Optional[str]] = []
+                for index, _, _, _ in payload[6]:
+                    key = pending_keys.get(index)
+                    keys.append(serialize_cell_key(key) if key is not None else None)
+                parallel_keys.append(keys)
+            results = (
+                list(
+                    self.backend.map_groups(
+                        parallel, cell_keys=parallel_keys, cache=self.cache_store
+                    )
+                )
+                if parallel
+                else []
+            )
             results.extend(_evaluate_group(p) for p in inline)
             for group_rows in results:
                 for index, row in group_rows:

@@ -111,11 +111,17 @@ def _engine_from_env() -> EvaluationEngine:
     """The shared engine, honouring the ``REPRO_ENGINE_*`` environment knobs.
 
     ``REPRO_ENGINE_BACKEND`` selects the scheduler (``serial``,
-    ``multiprocessing:workers=4``, ``work-queue:workers=4``),
-    ``REPRO_ENGINE_CACHE`` the cell store (``memory``, ``off``,
-    ``sqlite:path=cells.sqlite``) and ``REPRO_ENGINE_WORKERS`` the default
-    worker count — so a benchmark suite or CI step can re-route every
-    ``run_*`` experiment without touching call sites.
+    ``multiprocessing:workers=4``, ``work-queue:workers=4``, or the fleet
+    form ``work-queue:bind=0.0.0.0,advertise=10.0.0.5,workers=0,batch=4``
+    — remote hosts then join with ``python -m repro.experiments.worker
+    --connect 10.0.0.5:PORT``), ``REPRO_ENGINE_CACHE`` the cell store
+    (``memory``, ``off``, ``sqlite:path=cells.sqlite`` — with a work-queue
+    backend, workers write the sqlite file directly and ship only acks) and
+    ``REPRO_ENGINE_WORKERS`` the default worker count — so a benchmark
+    suite, a CI step or a fleet coordinator can re-route every ``run_*``
+    experiment without touching call sites.  ``REPRO_WORKER_LOG_DIR``
+    additionally redirects spawned workers' stdout/stderr to
+    ``worker-<id>.log`` files there.
     """
     return EvaluationEngine(
         workers=max(int(os.environ.get("REPRO_ENGINE_WORKERS", "1") or 1), 1),

@@ -46,6 +46,7 @@ __all__ = [
     "split_sessions",
     "geolife_world",
     "store_world",
+    "shard_world_specs",
 ]
 
 
@@ -211,6 +212,25 @@ def store_world(
             "the store world needs a directory: 'store:path=/data/world.store'"
         )
     return StoreWorld(path, poi_diameter_m=poi_diameter_m, shard=shard)
+
+
+def shard_world_specs(spec: str, n: int) -> List[str]:
+    """The ``n`` disjoint shard spec strings of one shardable world spec.
+
+    The scatter half of fleet scatter-gather: a coordinator turns one store
+    world into per-shard spec strings (each opens as its own path-picklable
+    memmapped world) and lists them all as an
+    :class:`~repro.experiments.engine.ExperimentSpec` world axis, so the
+    scheduler backend fans the shards out across hosts::
+
+        shard_world_specs("store:path=/data/world", 4)
+        # ['store:path=/data/world,shard=0/4', ..., 'store:path=/data/world,shard=3/4']
+    """
+    if n < 1:
+        raise ValueError(f"need at least 1 shard, got {n}")
+    if ",shard=" in spec or spec.startswith("shard="):
+        raise ValueError(f"world spec already carries a shard: {spec!r}")
+    return [f"{spec},shard={k}/{n}" for k in range(n)]
 
 
 def split_sessions(dataset: MobilityDataset, sessions_gap_s: float) -> MobilityDataset:

@@ -1,16 +1,18 @@
-"""Scheduler backends: bitwise row equivalence, crash recovery, spec parsing."""
+"""Scheduler backends: bitwise row equivalence, crash recovery, fleet knobs."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.experiments.backends import (
+    AUTHKEY_ENV,
     MultiprocessingBackend,
     SerialBackend,
     WorkQueueBackend,
     WorkQueueError,
     make_backend,
 )
+from repro.experiments.cache import SqliteCellCache
 from repro.experiments.engine import EvaluationEngine, ExperimentSpec
 from repro.experiments.workloads import standard_world
 
@@ -113,6 +115,146 @@ class TestWorkQueueFaults:
             EvaluationEngine(backend=backend, cache=False).run(spec, worlds={"world": world})
 
 
+class TestFleetPath:
+    """The multi-host surface: bind/advertise, batching, heartbeat eviction,
+    and shared-cache direct writes — all pinned bitwise-identical to serial."""
+
+    def test_bind_advertise_run_matches_serial(self, world, serial_rows):
+        """Workers dial the advertised loopback address while the server
+        binds every interface — the non-loopback path CI's fleet job uses."""
+        backend = WorkQueueBackend(
+            workers=2,
+            timeout_s=300.0,
+            bind_host="0.0.0.0",
+            advertise_host="127.0.0.1",
+        )
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        stats = backend.last_stats
+        assert stats["address"]["bind"] == "0.0.0.0"
+        assert stats["address"]["advertise"] == "127.0.0.1"
+        assert stats["address"]["port"] > 0
+        assert stats["workers_seen"] >= 1
+
+    def test_batched_pulls_claim_fewer_round_trips(self, world, serial_rows):
+        backend = WorkQueueBackend(workers=1, timeout_s=300.0, batch=3)
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        # 6 groups in batches of 3 → 2 claim round-trips, not 6.
+        assert backend.last_stats["task_batches"] == 2
+
+    def test_frozen_worker_is_evicted_by_heartbeat(self, world, serial_rows):
+        """A worker that claims work, stops heartbeating and hangs — alive to
+        poll(), dead to the run — must be evicted in ~heartbeat_timeout_s and
+        its tasks requeued, not waited out until timeout_s."""
+        backend = WorkQueueBackend(
+            workers=1,
+            timeout_s=120.0,
+            heartbeat_s=0.1,
+            heartbeat_timeout_s=0.8,
+            fault_injection="freeze-once",
+        )
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        stats = backend.last_stats
+        assert stats["heartbeat_evictions"] >= 1
+        assert stats["requeues"] >= 1
+        assert any(e["detected"] == "heartbeat" for e in stats["evictions"])
+
+    def test_shared_cache_direct_writes_ship_no_rows(self, world, serial_rows, tmp_path):
+        cache = SqliteCellCache(str(tmp_path / "cells.sqlite"))
+        backend = WorkQueueBackend(workers=2, timeout_s=300.0)
+        engine = EvaluationEngine(backend=backend, cache=cache)
+        try:
+            rows = engine.run(_spec(), worlds={"world": world})
+            assert rows == serial_rows
+            stats = backend.last_stats
+            assert stats["rows_shipped"] == 0, "rows must land via the shared cache"
+            assert stats["cache_rows_written"] == len(serial_rows)
+
+            # A fresh engine on the same file: 100% hits, backend untouched.
+            warm_backend = WorkQueueBackend(workers=2, timeout_s=300.0)
+            warm_engine = EvaluationEngine(backend=warm_backend, cache=cache)
+            warm_rows = warm_engine.run(_spec(), worlds={"world": world})
+            assert warm_rows == serial_rows
+            assert warm_engine.cache_hits == len(serial_rows)
+            assert warm_engine.cache_misses == 0
+            assert warm_backend.last_stats == {}, "warm run must not touch the queue"
+        finally:
+            cache.close()
+
+    def test_workers_zero_waits_for_remote_bootstrap(
+        self, world, serial_rows, monkeypatch
+    ):
+        """The fleet-coordinator contract: ``workers=0`` spawns nothing, the
+        preset env authkey is honoured by the queue server, and a worker
+        bootstrapped with only ``--connect host:port`` (no rank, no key on
+        the command line) drains the whole run."""
+        import socket
+        import subprocess
+        import sys
+        import threading
+
+        monkeypatch.setenv(AUTHKEY_ENV, "fleet-test-key")
+        probe = socket.socket()
+        try:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        finally:
+            probe.close()
+        backend = WorkQueueBackend(
+            workers=0, timeout_s=120.0, port=port, heartbeat_s=0.2,
+            heartbeat_timeout_s=2.0,
+        )
+        engine = EvaluationEngine(backend=backend, cache=False)
+        box = []
+        coordinator = threading.Thread(
+            target=lambda: box.append(engine.run(_spec(), worlds={"world": world}))
+        )
+        coordinator.start()
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.worker",
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--heartbeat-s",
+                "0.2",
+            ],
+            env=WorkQueueBackend._worker_env("fleet-test-key", None),
+        )
+        try:
+            coordinator.join(timeout=110.0)
+            assert not coordinator.is_alive(), "coordinator did not finish"
+            assert proc.wait(timeout=10.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert box and box[0] == serial_rows
+        stats = backend.last_stats
+        assert stats["workers_seen"] == 1
+        (worker_id,) = stats["worker_cell_counts"]
+        assert socket.gethostname() in worker_id  # auto-generated host-pid id
+
+    def test_uncacheable_cells_still_ship_rows(self, world, serial_rows, tmp_path):
+        """cache=False means no keys: the direct-write path must stay off."""
+        backend = WorkQueueBackend(workers=1, timeout_s=300.0)
+        rows = EvaluationEngine(backend=backend, cache=False).run(
+            _spec(), worlds={"world": world}
+        )
+        assert rows == serial_rows
+        assert backend.last_stats["rows_shipped"] == len(serial_rows)
+        assert backend.last_stats["cache_rows_written"] == 0
+
+
 class TestMakeBackend:
     def test_spec_strings(self):
         assert isinstance(make_backend("serial"), SerialBackend)
@@ -140,3 +282,28 @@ class TestMakeBackend:
     def test_invalid_fault_injection_rejected(self):
         with pytest.raises(ValueError, match="fault_injection"):
             WorkQueueBackend(fault_injection="typo")
+
+    def test_fleet_spec_knobs(self):
+        wq = make_backend(
+            "work-queue:bind=0.0.0.0,advertise=10.0.0.5,port=9000,workers=0,batch=4"
+        )
+        assert isinstance(wq, WorkQueueBackend)
+        assert wq.bind_host == "0.0.0.0"
+        assert wq.advertise_host == "10.0.0.5"
+        assert wq.port == 9000
+        assert wq.workers == 0  # fleet-coordinator mode: remote workers only
+        assert wq.batch == 4
+
+    def test_advertise_defaults(self):
+        # A wildcard bind is not dialable: advertise falls back to loopback.
+        assert WorkQueueBackend(bind_host="0.0.0.0").advertise_host == "127.0.0.1"
+        assert WorkQueueBackend(bind_host="10.1.2.3").advertise_host == "10.1.2.3"
+        assert WorkQueueBackend().advertise_host == "127.0.0.1"
+
+    def test_invalid_fleet_knobs_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkQueueBackend(workers=-1)
+        with pytest.raises(ValueError, match="batch"):
+            WorkQueueBackend(batch=0)
+        with pytest.raises(ValueError, match="heartbeat"):
+            WorkQueueBackend(heartbeat_s=2.0, heartbeat_timeout_s=1.0)

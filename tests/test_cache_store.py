@@ -75,6 +75,19 @@ class TestStoreBasics:
         with pytest.raises(TypeError):
             make_cache_store(3.14)
 
+    def test_serialized_accessors_alias_tuple_accessors(self, tmp_path):
+        """put/get and put_serialized/get_serialized address the same rows:
+        the fleet path serializes keys on the coordinator, workers write by
+        text, and both sides must agree byte for byte."""
+        store = SqliteCellCache(tmp_path / "cells.sqlite")
+        key_text = serialize_cell_key(KEY)
+        store.put_serialized(key_text, {"value": 1.0})
+        assert store.get(KEY) == {"value": 1.0}
+        store.put(KEY, {"value": 2.0})
+        assert store.get_serialized(key_text) == {"value": 2.0}
+        assert store.get_serialized("v2:[\"no-such-key\"]") is None
+        store.close()
+
     def test_sqlite_roundtrips_numpy_and_nan_bitwise(self, tmp_path):
         store = SqliteCellCache(tmp_path / "cells.sqlite")
         row = {

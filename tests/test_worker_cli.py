@@ -1,17 +1,22 @@
 """Worker CLI argument/env handling and backend_check failure paths.
 
 The happy paths — real worker subprocesses evaluating real payloads — are
-covered end-to-end by ``tests/test_backends.py`` and the CI equivalence job.
-This module pins the edges around them: the worker's argparse surface, the
-missing-authkey exit, the claim/done/error queue protocol (against a
-manager server hosted in a test thread), and every ``backend_check`` branch
-that returns non-zero.
+covered end-to-end by ``tests/test_backends.py`` and the CI equivalence
+jobs.  This module pins the edges around them: the worker's argparse
+surface, the missing-authkey exit, every connect-failure exit (bad host,
+refused port, wrong authkey, coordinator death mid-run), the
+hello/claim/done/error queue protocol (against a manager server hosted in a
+test thread), the shared-cache direct-write path, and every
+``backend_check`` branch that returns non-zero.
 """
 
 from __future__ import annotations
 
 import pickle
 import queue
+import socket
+import subprocess
+import sys
 import threading
 
 import pytest
@@ -24,6 +29,7 @@ from repro.experiments.backends import (
     SerialBackend,
     WorkQueueBackend,
 )
+from repro.experiments.cache import SqliteCellCache
 
 _AUTHKEY = "test-worker-authkey"
 
@@ -66,42 +72,180 @@ def queue_server(monkeypatch):
         stop.set()
 
 
-def _worker_argv(host: str, port: int, rank: int = 3):
-    return ["--host", host, "--port", str(port), "--rank", str(rank)]
+def _worker_argv(host: str, port: int, rank: str = "3"):
+    # A long heartbeat keeps the result queue deterministic in protocol tests.
+    return [
+        "--connect",
+        f"{host}:{port}",
+        "--rank",
+        rank,
+        "--heartbeat-s",
+        "30",
+        "--retries",
+        "0",
+    ]
 
 
 class TestWorkerArgs:
-    @pytest.mark.parametrize(
-        "argv",
-        [
-            [],
-            ["--host", "127.0.0.1"],
-            ["--host", "127.0.0.1", "--port", "1"],
-            ["--port", "1", "--rank", "0"],
-        ],
-    )
-    def test_missing_required_args_exit_2(self, argv, capsys):
-        with pytest.raises(SystemExit) as excinfo:
-            worker.main(argv)
-        assert excinfo.value.code == 2
-        assert "required" in capsys.readouterr().err
+    def test_no_address_is_exit_2(self, capsys):
+        assert worker.main([]) == 2
+        assert "--connect" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("field", ["--port", "--rank"])
-    def test_non_integer_values_rejected(self, field, capsys):
-        argv = ["--host", "h", "--port", "1", "--rank", "0"]
-        argv[argv.index(field) + 1] = "not-a-number"
+    @pytest.mark.parametrize("argv", [["--host", "127.0.0.1"], ["--port", "1"]])
+    def test_half_a_legacy_address_is_exit_2(self, argv, capsys):
+        assert worker.main(argv) == 2
+
+    @pytest.mark.parametrize(
+        "value", ["no-port", "host:", ":123", "host:notaport", ""]
+    )
+    def test_malformed_connect_rejected(self, value, capsys):
         with pytest.raises(SystemExit) as excinfo:
-            worker.main(argv)
+            worker.main(["--connect", value])
+        assert excinfo.value.code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_non_integer_port_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            worker.main(["--host", "h", "--port", "not-a-number"])
         assert excinfo.value.code == 2
         assert "invalid int value" in capsys.readouterr().err
 
     def test_missing_authkey_is_exit_2_not_a_crash(self, monkeypatch, capsys):
         """Without the env authkey the worker must refuse to even connect."""
         monkeypatch.delenv(AUTHKEY_ENV, raising=False)
-        assert worker.main(_worker_argv("127.0.0.1", 1, rank=7)) == 2
+        assert worker.main(_worker_argv("127.0.0.1", 1, rank="7")) == 2
         err = capsys.readouterr().err
         assert "worker 7" in err
         assert AUTHKEY_ENV in err
+
+
+class TestWorkerConnectFailures:
+    """Every connect failure must exit non-zero with a clean message —
+    never hang in the manager handshake (the satellite fix this pins)."""
+
+    def test_unresolvable_host_is_exit_3(self, monkeypatch, capsys):
+        monkeypatch.setenv(AUTHKEY_ENV, _AUTHKEY)
+        argv = [
+            "--connect",
+            "nosuchhost.invalid:9999",
+            "--rank",
+            "w",
+            "--retries",
+            "0",
+            "--connect-timeout-s",
+            "2",
+        ]
+        assert worker.main(argv) == 3
+        assert "could not connect" in capsys.readouterr().err
+
+    def test_refused_port_retries_then_exit_3(self, monkeypatch, capsys):
+        monkeypatch.setenv(AUTHKEY_ENV, _AUTHKEY)
+        probe = socket.socket()
+        try:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        finally:
+            probe.close()  # nothing listens on `port` now
+        argv = [
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--rank",
+            "w",
+            "--retries",
+            "1",
+            "--retry-backoff-s",
+            "0.05",
+            "--connect-timeout-s",
+            "2",
+        ]
+        assert worker.main(argv) == 3
+        assert "after 2 attempts" in capsys.readouterr().err
+
+    def test_wrong_authkey_is_exit_3_without_retry(
+        self, queue_server, monkeypatch, capsys
+    ):
+        host, port, _, _ = queue_server
+        monkeypatch.setenv(AUTHKEY_ENV, "not-the-real-key")
+        assert worker.main(_worker_argv(host, port, rank="w")) == 3
+        assert "authentication failed" in capsys.readouterr().err
+
+    def test_coordinator_death_mid_run_is_exit_4(self, monkeypatch, capsys):
+        """A worker blocked on the task queue whose coordinator dies must
+        exit 4 ("lost connection"), not hang forever."""
+        monkeypatch.setenv(AUTHKEY_ENV, _AUTHKEY)
+        server_script = (
+            "import queue, sys\n"
+            "from multiprocessing.managers import BaseManager\n"
+            "tasks = queue.Queue(); results = queue.Queue()\n"
+            "class M(BaseManager): pass\n"
+            "M.register('get_task_queue', callable=lambda: tasks)\n"
+            "M.register('get_result_queue', callable=lambda: results)\n"
+            f"m = M(address=('127.0.0.1', 0), authkey={_AUTHKEY.encode('ascii')!r})\n"
+            "s = m.get_server()\n"
+            "print(s.address[1], flush=True)\n"
+            "s.serve_forever()\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", server_script],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            port = int(proc.stdout.readline())
+            exit_code: list = []
+            runner = threading.Thread(
+                target=lambda: exit_code.append(
+                    worker.main(
+                        [
+                            "--connect",
+                            f"127.0.0.1:{port}",
+                            "--rank",
+                            "w",
+                            "--heartbeat-s",
+                            "0.1",
+                            "--retries",
+                            "0",
+                        ]
+                    )
+                ),
+                daemon=True,
+            )
+            runner.start()
+            # Wait for the worker's hello before killing the server: a kill
+            # mid-handshake would (correctly) exit 3, not 4.
+            from multiprocessing.managers import BaseManager
+
+            observer_cls = type("_Observer", (BaseManager,), {})
+            observer_cls.register("get_result_queue")
+            observer = observer_cls(
+                address=("127.0.0.1", port), authkey=_AUTHKEY.encode("ascii")
+            )
+            observer.connect()
+            assert observer.get_result_queue().get(timeout=30.0) == ("hello", "w")
+            assert runner.is_alive(), "worker exited before the coordinator died"
+            proc.kill()
+            proc.wait()
+            runner.join(timeout=10.0)
+            assert not runner.is_alive(), "worker hung after coordinator death"
+            assert exit_code == [4]
+            assert "lost connection" in capsys.readouterr().err
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+def _drain(results: "queue.Queue"):
+    """All queued result messages, heartbeats filtered out."""
+    messages = []
+    while True:
+        try:
+            message = results.get_nowait()
+        except queue.Empty:
+            return messages
+        if message[0] != "heartbeat":
+            messages.append(message)
 
 
 class TestWorkerProtocol:
@@ -109,9 +253,9 @@ class TestWorkerProtocol:
         host, port, tasks, results = queue_server
         tasks.put(None)
         assert worker.main(_worker_argv(host, port)) == 0
-        assert results.empty()
+        assert _drain(results) == [("hello", "3")]
 
-    def test_task_is_claimed_then_done(self, queue_server, monkeypatch):
+    def test_batch_is_claimed_once_then_done_per_task(self, queue_server, monkeypatch):
         host, port, tasks, results = queue_server
         rows = [(0, {"metric": 1.0}), (1, {"metric": 2.0})]
         seen = []
@@ -123,21 +267,102 @@ class TestWorkerProtocol:
         from repro.experiments import engine
 
         monkeypatch.setattr(engine, "_evaluate_group", fake_evaluate)
-        tasks.put((5, pickle.dumps("group-payload")))
+        tasks.put(
+            [
+                (5, pickle.dumps("payload-a"), None),
+                (6, pickle.dumps("payload-b"), None),
+            ]
+        )
         tasks.put(None)
-        assert worker.main(_worker_argv(host, port, rank=2)) == 0
-        assert seen == ["group-payload"]
-        assert results.get_nowait() == ("claim", 5, 2)
-        assert results.get_nowait() == ("done", 5, 2, rows)
-        assert results.empty()
+        assert worker.main(_worker_argv(host, port, rank="2")) == 0
+        assert seen == ["payload-a", "payload-b"]
+        assert _drain(results) == [
+            ("hello", "2"),
+            ("claim", "2", [5, 6]),
+            ("done", "2", 5, ("rows", rows)),
+            ("done", "2", 6, ("rows", rows)),
+        ]
+
+    def test_cache_directive_writes_rows_and_ships_only_an_ack(
+        self, queue_server, monkeypatch, tmp_path
+    ):
+        host, port, tasks, results = queue_server
+        rows = [(0, {"metric": 1.0}), (1, {"metric": 2.0})]
+
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_evaluate_group", lambda payload: rows)
+        cache_path = str(tmp_path / "cells.sqlite")
+        key_texts = ("v2:[\"cell-a\"]", "v2:[\"cell-b\"]")
+        tasks.put([(5, pickle.dumps("payload"), (cache_path, key_texts))])
+        tasks.put(None)
+        assert worker.main(_worker_argv(host, port, rank="2")) == 0
+        assert _drain(results) == [
+            ("hello", "2"),
+            ("claim", "2", [5]),
+            ("done", "2", 5, ("cached", 2)),  # the ~100-byte ack, no rows
+        ]
+        store = SqliteCellCache(cache_path)
+        try:
+            assert store.get_serialized(key_texts[0]) == {"metric": 1.0}
+            assert store.get_serialized(key_texts[1]) == {"metric": 2.0}
+        finally:
+            store.close()
+
+    def test_default_worker_id_is_host_and_pid(self, queue_server):
+        host, port, tasks, results = queue_server
+        tasks.put(None)
+        argv = ["--connect", f"{host}:{port}", "--heartbeat-s", "30", "--retries", "0"]
+        assert worker.main(argv) == 0
+        (hello,) = _drain(results)
+        assert hello[0] == "hello"
+        assert socket.gethostname() in hello[1]
+
+    def test_heartbeats_flow_while_waiting(self, queue_server, monkeypatch):
+        host, port, tasks, results = queue_server
+
+        from repro.experiments import engine
+
+        def slow_evaluate(payload):
+            import time
+
+            time.sleep(0.5)
+            return [(0, {"metric": 0.0})]
+
+        monkeypatch.setattr(engine, "_evaluate_group", slow_evaluate)
+        tasks.put([(1, pickle.dumps("payload"), None)])
+        tasks.put(None)
+        argv = [
+            "--connect",
+            f"{host}:{port}",
+            "--rank",
+            "2",
+            "--heartbeat-s",
+            "0.05",
+            "--retries",
+            "0",
+        ]
+        assert worker.main(argv) == 0
+        heartbeats = 0
+        while True:
+            try:
+                message = results.get_nowait()
+            except queue.Empty:
+                break
+            if message[0] == "heartbeat":
+                assert message[1] == "2"
+                heartbeats += 1
+        assert heartbeats >= 2, "expected heartbeats during the slow evaluation"
 
     def test_bad_payload_reports_error_and_exits_1(self, queue_server):
         host, port, tasks, results = queue_server
-        tasks.put((9, b"definitely not a pickle"))
-        assert worker.main(_worker_argv(host, port, rank=4)) == 1
-        assert results.get_nowait() == ("claim", 9, 4)
-        kind, task_id, rank, tb = results.get_nowait()
-        assert (kind, task_id, rank) == ("error", 9, 4)
+        tasks.put([(9, b"definitely not a pickle", None)])
+        assert worker.main(_worker_argv(host, port, rank="4")) == 1
+        messages = _drain(results)
+        assert messages[0] == ("hello", "4")
+        assert messages[1] == ("claim", "4", [9])
+        kind, worker_id, task_id, tb = messages[2]
+        assert (kind, worker_id, task_id) == ("error", "4", 9)
         assert "Traceback" in tb
 
     def test_evaluation_exception_carries_traceback(self, queue_server, monkeypatch):
@@ -149,10 +374,10 @@ class TestWorkerProtocol:
         from repro.experiments import engine
 
         monkeypatch.setattr(engine, "_evaluate_group", boom)
-        tasks.put((1, pickle.dumps("payload")))
-        assert worker.main(_worker_argv(host, port, rank=0)) == 1
-        assert results.get_nowait() == ("claim", 1, 0)
-        kind, _, _, tb = results.get_nowait()
+        tasks.put([(1, pickle.dumps("payload"), None)])
+        assert worker.main(_worker_argv(host, port, rank="0")) == 1
+        messages = _drain(results)
+        kind, _, _, tb = messages[2]
         assert kind == "error"
         assert "injected evaluation failure" in tb
 
